@@ -1,0 +1,394 @@
+//! Floyd–Warshall all-pairs shortest paths as a GEP instance.
+//!
+//! `Σ` is the full set `[0,n)³` and `f(x, u, v, ·) = min(x, u + v)` —
+//! the classic relaxation `d[i][j] = min(d[i][j], d[i][k] + d[k][j])`.
+//! I-GEP is exact for this spec (it is one of the paper's motivating
+//! applications); C-GEP of course is too.
+//!
+//! Two specs are provided:
+//!
+//! * [`FwSpec`] — distances only, generic over a [`Weight`]
+//!   (`i64` with a large sentinel infinity, or `f64` with IEEE infinity).
+//!   Ships a vectorisable base-case kernel for the optimised engine.
+//! * [`FwPathSpec`] — distance plus successor matrix for path
+//!   reconstruction, elementwise `(dist, next)` pairs.
+
+use gep_core::{GepMat, GepSpec};
+use gep_matrix::Matrix;
+
+/// Edge-weight abstraction: a totally ordered additive monoid with an
+/// absorbing-enough infinity.
+pub trait Weight: Copy + Send + Sync + PartialEq + PartialOrd + std::fmt::Debug + 'static {
+    /// "No edge" marker; must satisfy `INFINITY + x >= anything` under
+    /// [`Weight::wadd`].
+    const INFINITY: Self;
+    /// Additive identity.
+    const ZERO: Self;
+    /// Overflow-safe addition (`INFINITY` propagates).
+    fn wadd(self, other: Self) -> Self;
+}
+
+impl Weight for i64 {
+    /// Large sentinel chosen so that `INFINITY + INFINITY` does not wrap.
+    const INFINITY: i64 = i64::MAX / 4;
+    const ZERO: i64 = 0;
+    #[inline(always)]
+    fn wadd(self, other: i64) -> i64 {
+        self + other
+    }
+}
+
+impl Weight for f64 {
+    const INFINITY: f64 = f64::INFINITY;
+    const ZERO: f64 = 0.0;
+    #[inline(always)]
+    fn wadd(self, other: f64) -> f64 {
+        self + other
+    }
+}
+
+/// Distance-only Floyd–Warshall spec.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FwSpec<W = i64>(std::marker::PhantomData<W>);
+
+impl<W> FwSpec<W> {
+    /// Creates the spec.
+    pub const fn new() -> Self {
+        Self(std::marker::PhantomData)
+    }
+}
+
+impl<W: Weight> GepSpec for FwSpec<W> {
+    type Elem = W;
+
+    #[inline(always)]
+    fn update(&self, _i: usize, _j: usize, _k: usize, x: W, u: W, v: W, _w: W) -> W {
+        let cand = u.wadd(v);
+        if cand < x {
+            cand
+        } else {
+            x
+        }
+    }
+
+    #[inline(always)]
+    fn in_sigma(&self, _i: usize, _j: usize, _k: usize) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn sigma_intersects(&self, _: (usize, usize), _: (usize, usize), _: (usize, usize)) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn tau(&self, n: usize, _i: usize, _j: usize, l: i64) -> Option<usize> {
+        (l >= 0).then(|| (l as usize).min(n - 1))
+    }
+
+    /// Vectorisable min-plus tile kernel: for each `(k, i)` the inner loop
+    /// runs over a contiguous row slice of both `X` and `V`.
+    ///
+    /// The aliasing refresh of the generic kernel (`u` when `j == k`) is
+    /// preserved by splitting the `j`-range at `k`; `w` is unused by the
+    /// update, so no pivot refresh is needed.
+    unsafe fn kernel(&self, m: GepMat<'_, W>, xr: usize, xc: usize, kk: usize, s: usize) {
+        for k in kk..kk + s {
+            let vrow = m.row_ptr(k);
+            for i in xr..xr + s {
+                let mut u = m.get(i, k);
+                let xrow = m.row_ptr(i);
+                // Segment 1: j < k (u fixed).
+                let mid = k.clamp(xc, xc + s);
+                for j in xc..mid {
+                    let cand = u.wadd(*vrow.add(j));
+                    if cand < *xrow.add(j) {
+                        *xrow.add(j) = cand;
+                    }
+                }
+                // Segment 2: j == k (updates c[i,k] itself).
+                if (xc..xc + s).contains(&k) {
+                    let cand = u.wadd(*vrow.add(k));
+                    if cand < *xrow.add(k) {
+                        *xrow.add(k) = cand;
+                        u = cand;
+                    }
+                }
+                // Segment 3: j > k.
+                for j in (mid + usize::from((xc..xc + s).contains(&k)))..xc + s {
+                    let cand = u.wadd(*vrow.add(j));
+                    if cand < *xrow.add(j) {
+                        *xrow.add(j) = cand;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Distance + successor spec for path reconstruction.
+///
+/// Element `(d, s)`: `d` is the current shortest distance, `s` the
+/// *next hop* on the corresponding path (`u32::MAX` = none/self). When the
+/// relaxation through `k` strictly improves `d[i][j]`, the next hop of
+/// `(i, j)` becomes the next hop of `(i, k)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FwPathSpec;
+
+/// Sentinel "no successor".
+pub const NO_NEXT: u32 = u32::MAX;
+
+impl GepSpec for FwPathSpec {
+    type Elem = (i64, u32);
+
+    #[inline(always)]
+    fn update(
+        &self,
+        _i: usize,
+        _j: usize,
+        _k: usize,
+        x: (i64, u32),
+        u: (i64, u32),
+        v: (i64, u32),
+        _w: (i64, u32),
+    ) -> (i64, u32) {
+        let cand = u.0.wadd(v.0);
+        if cand < x.0 {
+            (cand, u.1)
+        } else {
+            x
+        }
+    }
+
+    #[inline(always)]
+    fn in_sigma(&self, _i: usize, _j: usize, _k: usize) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn tau(&self, n: usize, _i: usize, _j: usize, l: i64) -> Option<usize> {
+        (l >= 0).then(|| (l as usize).min(n - 1))
+    }
+}
+
+/// Builds the initial distance matrix from an edge list
+/// (`n` vertices, directed edges `(from, to, weight)`).
+///
+/// `d[i][i] = 0`, absent edges are [`Weight::INFINITY`]; parallel edges
+/// keep the minimum weight.
+pub fn distance_matrix<W: Weight>(n: usize, edges: &[(usize, usize, W)]) -> Matrix<W> {
+    let mut m = Matrix::from_fn(n, n, |i, j| if i == j { W::ZERO } else { W::INFINITY });
+    for &(a, b, w) in edges {
+        if w < m[(a, b)] {
+            m[(a, b)] = w;
+        }
+    }
+    m
+}
+
+/// Builds the initial `(dist, next)` matrix for [`FwPathSpec`].
+pub fn path_matrix(n: usize, edges: &[(usize, usize, i64)]) -> Matrix<(i64, u32)> {
+    let mut m = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            (0i64, NO_NEXT)
+        } else {
+            (<i64 as Weight>::INFINITY, NO_NEXT)
+        }
+    });
+    for &(a, b, w) in edges {
+        if w < m[(a, b)].0 {
+            m[(a, b)] = (w, b as u32);
+        }
+    }
+    m
+}
+
+/// Extracts the vertex sequence of a shortest `src → dst` path from a
+/// solved [`FwPathSpec`] matrix, or `None` if unreachable.
+pub fn extract_path(solved: &Matrix<(i64, u32)>, src: usize, dst: usize) -> Option<Vec<usize>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    if solved[(src, dst)].0 >= <i64 as Weight>::INFINITY {
+        return None;
+    }
+    let mut path = vec![src];
+    let mut cur = src;
+    while cur != dst {
+        let next = solved[(cur, dst)].1;
+        debug_assert_ne!(next, NO_NEXT, "finite distance but missing next hop");
+        cur = next as usize;
+        path.push(cur);
+        assert!(path.len() <= solved.n(), "cycle in successor matrix");
+    }
+    Some(path)
+}
+
+/// Convenience: solve APSP with the optimised sequential I-GEP engine.
+///
+/// # Panics
+/// Panics unless `dist` is square with a power-of-two side (pad with
+/// [`Weight::INFINITY`] via [`Matrix::padded`] first if needed).
+pub fn apsp<W: Weight>(dist: &mut Matrix<W>, base_size: usize) {
+    gep_core::igep_opt(&FwSpec::<W>::new(), dist, base_size);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::fw_reference;
+    use gep_core::{cgep_full, gep_iterative, igep, igep_opt};
+
+    fn random_graph(n: usize, seed: u64) -> Matrix<i64> {
+        let mut s = seed;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                0
+            } else if rng() % 3 == 0 {
+                <i64 as Weight>::INFINITY
+            } else {
+                (rng() % 50) as i64 + 1
+            }
+        })
+    }
+
+    #[test]
+    fn all_engines_agree_with_reference() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let init = random_graph(n, 0xF00D + n as u64);
+            let oracle = fw_reference(&init);
+            let mut g = init.clone();
+            gep_iterative(&FwSpec::<i64>::new(), &mut g);
+            assert_eq!(g, oracle, "G n={n}");
+            let mut f = init.clone();
+            igep(&FwSpec::<i64>::new(), &mut f, 1);
+            assert_eq!(f, oracle, "igep n={n}");
+            let mut opt = init.clone();
+            igep_opt(&FwSpec::<i64>::new(), &mut opt, 4);
+            assert_eq!(opt, oracle, "abcd n={n}");
+            let mut h = init.clone();
+            cgep_full(&FwSpec::<i64>::new(), &mut h, 2);
+            assert_eq!(h, oracle, "cgep n={n}");
+        }
+    }
+
+    #[test]
+    fn kernel_override_matches_generic_on_all_base_sizes() {
+        let n = 32;
+        let init = random_graph(n, 77);
+        let oracle = fw_reference(&init);
+        for base in [1usize, 2, 4, 8, 16, 32] {
+            let mut c = init.clone();
+            apsp(&mut c, base);
+            assert_eq!(c, oracle, "base={base}");
+        }
+    }
+
+    #[test]
+    fn f64_weights() {
+        let n = 16;
+        let mut s = 5u64;
+        let init = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                0.0
+            } else {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if s % 4 == 0 {
+                    f64::INFINITY
+                } else {
+                    ((s >> 33) % 100) as f64 / 10.0
+                }
+            }
+        });
+        let mut a = init.clone();
+        let mut b = init.clone();
+        gep_iterative(&FwSpec::<f64>::new(), &mut a);
+        apsp(&mut b, 4);
+        // G and I-GEP may associate path sums differently, so distances
+        // can differ by rounding; both are valid FW outputs.
+        assert!(a.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn paths_are_valid_and_optimal() {
+        let edges = vec![
+            (0usize, 1, 7i64),
+            (0, 2, 2),
+            (2, 1, 3),
+            (1, 3, 1),
+            (2, 3, 8),
+            (3, 0, 4),
+        ];
+        let mut m = path_matrix(4, &edges);
+        gep_core::igep_opt(&FwPathSpec, &mut m, 1);
+        // 0 -> 1 via 2: cost 5.
+        assert_eq!(m[(0, 1)].0, 5);
+        assert_eq!(extract_path(&m, 0, 1), Some(vec![0, 2, 1]));
+        // 0 -> 3 via 2,1: 2 + 3 + 1 = 6.
+        assert_eq!(m[(0, 3)].0, 6);
+        assert_eq!(extract_path(&m, 0, 3), Some(vec![0, 2, 1, 3]));
+        // Self path.
+        assert_eq!(extract_path(&m, 2, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn path_spec_distances_match_distance_spec() {
+        let n = 16;
+        let init_d = random_graph(n, 99);
+        let init_p = Matrix::from_fn(n, n, |i, j| {
+            let d = init_d[(i, j)];
+            (
+                d,
+                if i != j && d < <i64 as Weight>::INFINITY {
+                    j as u32
+                } else {
+                    NO_NEXT
+                },
+            )
+        });
+        let mut d = init_d.clone();
+        let mut p = init_p.clone();
+        apsp(&mut d, 4);
+        igep_opt(&FwPathSpec, &mut p, 4);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(p[(i, j)].0, d[(i, j)], "({i},{j})");
+            }
+        }
+        // Every finite path must walk to its destination with total weight
+        // equal to the distance.
+        for i in 0..n {
+            for j in 0..n {
+                if let Some(path) = extract_path(&p, i, j) {
+                    let mut total = 0i64;
+                    for win in path.windows(2) {
+                        total += init_d[(win[0], win[1])];
+                    }
+                    assert_eq!(total, p[(i, j)].0, "path {i}->{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        // Two isolated vertices.
+        let mut m = path_matrix(2, &[]);
+        gep_core::igep_opt(&FwPathSpec, &mut m, 1);
+        assert_eq!(extract_path(&m, 0, 1), None);
+    }
+
+    #[test]
+    fn distance_matrix_takes_min_of_parallel_edges() {
+        let m = distance_matrix::<i64>(2, &[(0, 1, 9), (0, 1, 4), (0, 1, 6)]);
+        assert_eq!(m[(0, 1)], 4);
+        assert_eq!(m[(1, 0)], <i64 as Weight>::INFINITY);
+        assert_eq!(m[(0, 0)], 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Gaussian elimination without pivoting as a GEP instance, plus
+//! triangular solves and an end-to-end linear solver.
+//!
+//! `Σ = {⟨i,j,k⟩ : i > k ∧ j > k}` and `f(x, u, v, w) = x − u·v / w`:
+//! at step `k`, every cell strictly below and to the right of the pivot
+//! `c[k,k]` is reduced by `c[i,k]·c[k,j]/c[k,k]`, where `c[i,k]` and
+//! `c[k,j]` carry exactly `k` elimination steps (Table 1). After the run
+//! the upper triangle (including the diagonal) holds `U` of `A = L·U`;
+//! the strict lower triangle holds partially-reduced residue (use
+//! [`crate::lu::LuSpec`] when the multipliers are needed).
+//!
+//! No pivoting: inputs must be such that all leading principal minors are
+//! nonsingular (e.g. diagonally dominant or positive definite), as in the
+//! paper's experiments.
+
+use gep_core::{GepMat, GepSpec};
+use gep_matrix::Matrix;
+
+/// Gaussian elimination without pivoting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GaussianSpec;
+
+impl GepSpec for GaussianSpec {
+    type Elem = f64;
+
+    #[inline(always)]
+    fn update(&self, _i: usize, _j: usize, _k: usize, x: f64, u: f64, v: f64, w: f64) -> f64 {
+        x - u * v / w
+    }
+
+    #[inline(always)]
+    fn in_sigma(&self, i: usize, j: usize, k: usize) -> bool {
+        i > k && j > k
+    }
+
+    #[inline(always)]
+    fn sigma_intersects(
+        &self,
+        ib: (usize, usize),
+        jb: (usize, usize),
+        kb: (usize, usize),
+    ) -> bool {
+        // Σ ∩ box ≠ ∅ ⇔ some i > k and some j > k with k in range:
+        // the smallest k works if any does.
+        ib.1 > kb.0 && jb.1 > kb.0
+    }
+
+    #[inline(always)]
+    fn tau(&self, _n: usize, i: usize, j: usize, l: i64) -> Option<usize> {
+        // ⟨i,j,k'⟩ ∈ Σ ⇔ k' < min(i, j); the largest such k' ≤ l is
+        // min(l, i-1, j-1) when non-negative.
+        if i == 0 || j == 0 {
+            return None;
+        }
+        let cap = (i - 1).min(j - 1) as i64;
+        let t = l.min(cap);
+        (t >= 0).then_some(t as usize)
+    }
+
+    /// Division-hoisted tile kernel (the §4.2 "move divisions out of the
+    /// innermost loop" optimisation): for each `(k, i)` the multiplier
+    /// `u/w` is computed once and the inner loop is a contiguous
+    /// fused-multiply-subtract over the row.
+    unsafe fn kernel(&self, m: GepMat<'_, f64>, xr: usize, xc: usize, kk: usize, s: usize) {
+        for k in kk..kk + s {
+            let w = m.get(k, k);
+            let vrow = m.row_ptr(k);
+            for i in (k + 1).max(xr)..xr + s {
+                // u = c[i,k] never changes inside this row sweep: updates
+                // here touch columns j > k only, and c[i,k] sits at
+                // column k.
+                let factor = m.get(i, k) / w;
+                let xrow = m.row_ptr(i);
+                for j in (k + 1).max(xc)..xc + s {
+                    *xrow.add(j) -= factor * *vrow.add(j);
+                }
+            }
+        }
+    }
+}
+
+/// Runs Gaussian elimination (optimised sequential I-GEP) in place;
+/// afterwards the upper triangle of `a` is the `U` factor.
+///
+/// # Panics
+/// Panics unless `a` is square with a power-of-two side.
+pub fn eliminate(a: &mut Matrix<f64>, base_size: usize) {
+    gep_core::igep_opt(&GaussianSpec, a, base_size);
+}
+
+/// Forward-eliminates the augmented system: runs GEP elimination on the
+/// `(n+1)`-column system `[A | b]` packed into a power-of-two square.
+///
+/// Returns the eliminated square matrix (side `next_pow2(n+1)`) whose
+/// first `n` columns hold `U` and whose column `n` holds the transformed
+/// right-hand side `y` with `U x = y`.
+fn eliminate_augmented(a: &Matrix<f64>, b: &[f64], base_size: usize) -> Matrix<f64> {
+    let n = a.n();
+    assert_eq!(b.len(), n);
+    let m = gep_matrix::next_pow2(n + 1);
+    // Identity padding keeps the system nonsingular and the extra
+    // rows/columns inert (their off-diagonal entries are zero).
+    let mut aug = Matrix::from_fn(m, m, |i, j| {
+        if i < n && j < n {
+            a[(i, j)]
+        } else if i < n && j == n {
+            b[i]
+        } else if i == j {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    eliminate(&mut aug, base_size);
+    aug
+}
+
+/// Solves `U x = y` for upper-triangular `U` (back substitution) on the
+/// leading `n × n` block of `u`, with `y` in column `ycol`.
+fn back_substitute(u: &Matrix<f64>, n: usize, ycol: usize) -> Vec<f64> {
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = u[(i, ycol)];
+        for j in i + 1..n {
+            acc -= u[(i, j)] * x[j];
+        }
+        x[i] = acc / u[(i, i)];
+    }
+    x
+}
+
+/// Solves `A x = b` by GEP Gaussian elimination (no pivoting) followed by
+/// back substitution.
+///
+/// `A` may be any square size (it is padded to a power of two internally).
+/// Requires all leading principal minors nonsingular.
+pub fn solve(a: &Matrix<f64>, b: &[f64], base_size: usize) -> Vec<f64> {
+    let n = a.n();
+    let aug = eliminate_augmented(a, b, base_size);
+    back_substitute(&aug, n, n)
+}
+
+/// Determinant of `A` via elimination: the product of the pivots.
+pub fn determinant(a: &Matrix<f64>, base_size: usize) -> f64 {
+    let n = a.n();
+    let m = gep_matrix::next_pow2(n);
+    let mut p = Matrix::from_fn(m, m, |i, j| {
+        if i < n && j < n {
+            a[(i, j)]
+        } else if i == j {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    eliminate(&mut p, base_size);
+    (0..n).map(|i| p[(i, i)]).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{ge_reference, mat_vec, solve_reference};
+    use gep_core::{cgep_full, gep_iterative, igep};
+
+    fn spd_matrix(n: usize, seed: u64) -> Matrix<f64> {
+        // Diagonally dominant => elimination without pivoting is stable.
+        let mut s = seed;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 1000) as f64 / 1000.0
+        };
+        let mut m = Matrix::from_fn(n, n, |_, _| rng() - 0.5);
+        for i in 0..n {
+            m[(i, i)] = n as f64 + 1.0;
+        }
+        m
+    }
+
+    #[test]
+    fn engines_agree_with_reference_upper_triangle() {
+        for n in [2usize, 4, 8, 16] {
+            let a = spd_matrix(n, 42);
+            let oracle = ge_reference(&a);
+            let mut g = a.clone();
+            gep_iterative(&GaussianSpec, &mut g);
+            let mut f = a.clone();
+            igep(&GaussianSpec, &mut f, 1);
+            let mut opt = a.clone();
+            eliminate(&mut opt, 4);
+            let mut h = a.clone();
+            cgep_full(&GaussianSpec, &mut h, 2);
+            for i in 0..n {
+                for j in i..n {
+                    let o = oracle[(i, j)];
+                    assert!((g[(i, j)] - o).abs() < 1e-9, "G ({i},{j}) n={n}");
+                    assert!((f[(i, j)] - o).abs() < 1e-9, "F ({i},{j}) n={n}");
+                    assert!((opt[(i, j)] - o).abs() < 1e-9, "opt ({i},{j}) n={n}");
+                    assert!((h[(i, j)] - o).abs() < 1e-9, "H ({i},{j}) n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn base_size_invariance() {
+        let n = 32;
+        let a = spd_matrix(n, 7);
+        let mut reference = a.clone();
+        gep_iterative(&GaussianSpec, &mut reference);
+        for base in [1usize, 2, 8, 32] {
+            let mut c = a.clone();
+            eliminate(&mut c, base);
+            assert!(c.approx_eq(&reference, 1e-9), "base={base}");
+        }
+    }
+
+    #[test]
+    fn solver_matches_reference_and_residual_is_small() {
+        for n in [3usize, 5, 8, 13, 16] {
+            let a = spd_matrix(n, 1000 + n as u64);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+            let x = solve(&a, &b, 4);
+            let x_ref = solve_reference(&a, &b);
+            for i in 0..n {
+                assert!((x[i] - x_ref[i]).abs() < 1e-8, "n={n} i={i}");
+            }
+            let ax = mat_vec(&a, &x);
+            for i in 0..n {
+                assert!((ax[i] - b[i]).abs() < 1e-8, "residual n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_of_known_matrices() {
+        let i4 = Matrix::identity(4);
+        assert!((determinant(&i4, 1) - 1.0).abs() < 1e-12);
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        assert!((determinant(&a, 1) - 5.0).abs() < 1e-12);
+        // Upper triangular: determinant = product of diagonal.
+        let t = Matrix::from_rows(&[
+            vec![2.0, 5.0, 1.0],
+            vec![0.0, 3.0, 4.0],
+            vec![0.0, 0.0, 0.5],
+        ]);
+        assert!((determinant(&t, 2) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_closed_form_matches_default_scan() {
+        let spec = GaussianSpec;
+        let n = 16;
+        for i in 0..n {
+            for j in 0..n {
+                for l in -1..n as i64 + 2 {
+                    let scan = (0..n)
+                        .rev()
+                        .find(|&k| (k as i64) <= l && spec.in_sigma(i, j, k));
+                    assert_eq!(spec.tau(n, i, j, l), scan, "i={i} j={j} l={l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_intersects_is_exact_for_boxes() {
+        let spec = GaussianSpec;
+        let n = 8;
+        // Compare against brute force on all aligned boxes.
+        for s in [1usize, 2, 4, 8] {
+            for i0 in (0..n).step_by(s) {
+                for j0 in (0..n).step_by(s) {
+                    for k0 in (0..n).step_by(s) {
+                        let brute = (i0..i0 + s).any(|i| {
+                            (j0..j0 + s).any(|j| (k0..k0 + s).any(|k| spec.in_sigma(i, j, k)))
+                        });
+                        assert_eq!(
+                            spec.sigma_intersects(
+                                (i0, i0 + s - 1),
+                                (j0, j0 + s - 1),
+                                (k0, k0 + s - 1)
+                            ),
+                            brute,
+                            "box i0={i0} j0={j0} k0={k0} s={s}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

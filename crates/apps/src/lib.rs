@@ -1,0 +1,39 @@
+//! # gep-apps — GEP instantiations
+//!
+//! The problems the paper solves through the Gaussian Elimination Paradigm,
+//! each expressed as a [`gep_core::GepSpec`] so every engine (iterative G,
+//! cache-oblivious I-GEP, fully general C-GEP, optimised A/B/C/D, the
+//! parallel engine, the cache-simulated and out-of-core stores) runs them
+//! unchanged:
+//!
+//! * [`floyd_warshall`] — all-pairs shortest paths (min-plus, full `Σ`),
+//!   with optional successor tracking for path reconstruction;
+//! * [`gaussian`] — Gaussian elimination without pivoting
+//!   (`Σ = {i > k ∧ j > k}`, `f = x − u·v/w`), plus triangular solves and
+//!   an end-to-end linear solver;
+//! * [`lu`] — LU decomposition without pivoting (multipliers stored
+//!   in-place, `Σ = {i > k ∧ j ≥ k}`);
+//! * [`matmul`] — matrix multiplication, both as the paper's GEP embedding
+//!   into a `2n × 2n` matrix and as the direct divide-and-conquer over
+//!   three matrices (the `D`-only recursion with maximal parallelism);
+//! * [`transitive_closure`] — Boolean transitive closure
+//!   (Warshall's algorithm);
+//! * [`simple_dp`] — the parenthesis problem ("simple DP"), the paper's
+//!   cited non-GEP adaptation of the framework, with a polygon
+//!   triangulation instance;
+//! * [`reference`] — independent textbook implementations used as test
+//!   oracles throughout the workspace.
+
+pub mod floyd_warshall;
+pub mod gaussian;
+pub mod lu;
+pub mod matmul;
+pub mod reference;
+pub mod simple_dp;
+pub mod transitive_closure;
+
+pub use floyd_warshall::{FwPathSpec, FwSpec, Weight};
+pub use gaussian::GaussianSpec;
+pub use lu::LuSpec;
+pub use matmul::{MatMulEmbedSpec, Semiring};
+pub use transitive_closure::TransitiveClosureSpec;

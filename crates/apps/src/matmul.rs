@@ -1,0 +1,389 @@
+//! Matrix multiplication via GEP.
+//!
+//! Two routes, both from the paper:
+//!
+//! 1. **The GEP embedding** ([`MatMulEmbedSpec`]): to compute
+//!    `C += A · B` for `n × n` matrices, place `B` in the top-right block
+//!    and `A` in the bottom-left block of a `2n × 2n` matrix and take
+//!    `Σ = {⟨i,j,k⟩ : i ≥ n ∧ j ≥ n ∧ k < n}` with `f = x + u·v`:
+//!    `c[i,j] += c[i,k]·c[k,j]` then reads `A[i−n,k]` and `B[k,j−n]` and
+//!    accumulates into the bottom-right block. I-GEP is exact here.
+//!
+//! 2. **The direct recursion** ([`matmul_dac`]): the `D`-shaped
+//!    divide-and-conquer over three separate matrices — each half of the
+//!    `k` range spawns four independent quadrant products, which is where
+//!    the paper's improved `O(n³/p + n)` parallel bound for MM comes from
+//!    (Section 3). Generic over a [`Semiring`], so `(+, ×)` gives numeric
+//!    MM and `(min, +)` gives distance products. Notably the recursion
+//!    never reassociates the two `k`-half contributions, matching the
+//!    paper's remark that associativity of addition is not assumed.
+//!
+//! The [`Joiner`] parameter lets `gep-parallel` run the same recursion
+//! multithreaded.
+
+use gep_core::{GepMat, GepSpec, Joiner, Serial};
+use gep_matrix::Matrix;
+
+/// A semiring for divide-and-conquer matrix products.
+pub trait Semiring: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// The additive identity (initial value of an accumulating product).
+    const ADD_IDENTITY: Self;
+    /// `x ⊕ (u ⊗ v)`.
+    fn fma(x: Self, u: Self, v: Self) -> Self;
+}
+
+/// Ordinary arithmetic: `x + u * v`.
+impl Semiring for f64 {
+    const ADD_IDENTITY: f64 = 0.0;
+    #[inline(always)]
+    fn fma(x: f64, u: f64, v: f64) -> f64 {
+        x + u * v
+    }
+}
+
+/// Tropical (min-plus) semiring on saturating `i64` — distance products.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MinPlus(pub i64);
+
+impl Semiring for MinPlus {
+    const ADD_IDENTITY: MinPlus = MinPlus(i64::MAX / 4);
+    #[inline(always)]
+    fn fma(x: MinPlus, u: MinPlus, v: MinPlus) -> MinPlus {
+        MinPlus(x.0.min(u.0.saturating_add(v.0)))
+    }
+}
+
+/// The `2n × 2n` GEP embedding of `C += A · B`.
+///
+/// Layout of the embedding matrix `c` (`m = 2n`):
+///
+/// ```text
+///        cols 0..n     cols n..2n
+/// rows 0..n   (unused)      B
+/// rows n..2n     A           C
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct MatMulEmbedSpec {
+    /// Half-side: the size of the factor matrices.
+    pub n: usize,
+}
+
+impl GepSpec for MatMulEmbedSpec {
+    type Elem = f64;
+
+    #[inline(always)]
+    fn update(&self, _i: usize, _j: usize, _k: usize, x: f64, u: f64, v: f64, _w: f64) -> f64 {
+        x + u * v
+    }
+
+    #[inline(always)]
+    fn in_sigma(&self, i: usize, j: usize, k: usize) -> bool {
+        i >= self.n && j >= self.n && k < self.n
+    }
+
+    #[inline(always)]
+    fn sigma_intersects(
+        &self,
+        ib: (usize, usize),
+        jb: (usize, usize),
+        kb: (usize, usize),
+    ) -> bool {
+        ib.1 >= self.n && jb.1 >= self.n && kb.0 < self.n
+    }
+
+    #[inline(always)]
+    fn tau(&self, _nn: usize, i: usize, j: usize, l: i64) -> Option<usize> {
+        // Σ_ij = [0, n) when (i, j) is in the C block, else ∅.
+        if i < self.n || j < self.n {
+            return None;
+        }
+        let t = l.min(self.n as i64 - 1);
+        (t >= 0).then_some(t as usize)
+    }
+
+    /// Accumulating tile kernel (`ikj` order, contiguous inner loop).
+    unsafe fn kernel(&self, m: GepMat<'_, f64>, xr: usize, xc: usize, kk: usize, s: usize) {
+        // Inside a tile either every (i, j, k) is in Σ or membership is
+        // decided per-axis; clip the ranges instead of testing per cell.
+        let i_lo = xr.max(self.n);
+        let j_lo = xc.max(self.n);
+        let k_hi = (kk + s).min(self.n);
+        for i in i_lo..xr + s {
+            let xrow = m.row_ptr(i);
+            for k in kk..k_hi {
+                let u = m.get(i, k);
+                let vrow = m.row_ptr(k);
+                for j in j_lo..xc + s {
+                    *xrow.add(j) += u * *vrow.add(j);
+                }
+            }
+        }
+    }
+}
+
+/// Computes `C += A · B` through the GEP embedding, using the optimised
+/// sequential I-GEP engine; returns the updated `C`.
+///
+/// # Panics
+/// Panics unless `a`, `b`, `c` are square of equal power-of-two side.
+pub fn matmul_gep(
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    c: Matrix<f64>,
+    base_size: usize,
+) -> Matrix<f64> {
+    let n = a.n();
+    assert!(n.is_power_of_two() && b.n() == n && c.n() == n);
+    let m = 2 * n;
+    let mut emb = Matrix::from_fn(m, m, |i, j| match (i < n, j < n) {
+        (true, true) => 0.0,
+        (true, false) => b[(i, j - n)],
+        (false, true) => a[(i - n, j)],
+        (false, false) => c[(i - n, j - n)],
+    });
+    gep_core::igep_opt(&MatMulEmbedSpec { n }, &mut emb, base_size);
+    Matrix::from_fn(n, n, |i, j| emb[(i + n, j + n)])
+}
+
+/// `C += A · B` by direct divide-and-conquer (the `D`-only recursion),
+/// with a joiner for optional parallelism and an iterative `base_size`
+/// kernel.
+///
+/// # Panics
+/// Panics unless all three matrices are square of equal power-of-two side.
+pub fn matmul_dac<T: Semiring, J: Joiner>(
+    joiner: &J,
+    c: &mut Matrix<T>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    base_size: usize,
+) {
+    let n = c.n();
+    assert!(n.is_power_of_two() && a.n() == n && b.n() == n && base_size >= 1);
+    let ch = GepMat::new(c);
+    let ah = RoMat::new(a);
+    let bh = RoMat::new(b);
+    // SAFETY: `ch` exclusively borrows `c`; `a` and `b` are only read.
+    // `mm_rec` writes disjoint C-quadrants in each parallel group.
+    unsafe { mm_rec(joiner, ch, ah, bh, 0, 0, 0, n, base_size) }
+}
+
+/// Convenience: `A · B` from scratch with the serial engine.
+pub fn matmul<T: Semiring>(a: &Matrix<T>, b: &Matrix<T>, base_size: usize) -> Matrix<T> {
+    let mut c = Matrix::square(a.n(), T::ADD_IDENTITY);
+    matmul_dac(&Serial, &mut c, a, b, base_size);
+    c
+}
+
+/// Read-only raw matrix handle (shared freely across tasks).
+#[derive(Clone, Copy)]
+pub struct RoMat<'a, T> {
+    ptr: *const T,
+    n: usize,
+    _marker: std::marker::PhantomData<&'a [T]>,
+}
+
+// SAFETY: read-only view of a shared borrow.
+unsafe impl<T: Sync> Send for RoMat<'_, T> {}
+unsafe impl<T: Sync> Sync for RoMat<'_, T> {}
+
+impl<'a, T: Copy> RoMat<'a, T> {
+    /// Creates a read-only handle.
+    pub fn new(m: &'a Matrix<T>) -> Self {
+        Self {
+            ptr: m.as_slice().as_ptr(),
+            n: m.n(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Reads element `(i, j)`.
+    ///
+    /// # Safety
+    /// `i, j < n`.
+    #[inline(always)]
+    pub unsafe fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.n && j < self.n);
+        *self.ptr.add(i * self.n + j)
+    }
+
+    /// Pointer to row `i`.
+    ///
+    /// # Safety
+    /// `i < n`.
+    #[inline(always)]
+    pub unsafe fn row_ptr(&self, i: usize) -> *const T {
+        debug_assert!(i < self.n);
+        self.ptr.add(i * self.n)
+    }
+}
+
+/// `C[ci.., cj..] += A[ci.., kk..] ⊗ B[kk.., cj..]`, quadrant recursion.
+///
+/// Each `k`-half spawns its four quadrant products concurrently (they
+/// write disjoint C-quadrants); the two halves are sequenced so that the
+/// accumulation order within a cell is deterministic (no associativity
+/// assumed, per the paper).
+///
+/// # Safety
+/// Caller guarantees exclusive access to the `C` window and stability of
+/// the `A`/`B` windows.
+#[allow(clippy::too_many_arguments)]
+unsafe fn mm_rec<T: Semiring, J: Joiner>(
+    joiner: &J,
+    c: GepMat<'_, T>,
+    a: RoMat<'_, T>,
+    b: RoMat<'_, T>,
+    ci: usize,
+    cj: usize,
+    kk: usize,
+    s: usize,
+    base: usize,
+) {
+    if s <= base {
+        mm_kernel(c, a, b, ci, cj, kk, s);
+        return;
+    }
+    let h = s / 2;
+    joiner.join4(
+        || mm_rec(joiner, c, a, b, ci, cj, kk, h, base),
+        || mm_rec(joiner, c, a, b, ci, cj + h, kk, h, base),
+        || mm_rec(joiner, c, a, b, ci + h, cj, kk, h, base),
+        || mm_rec(joiner, c, a, b, ci + h, cj + h, kk, h, base),
+    );
+    joiner.join4(
+        || mm_rec(joiner, c, a, b, ci, cj, kk + h, h, base),
+        || mm_rec(joiner, c, a, b, ci, cj + h, kk + h, h, base),
+        || mm_rec(joiner, c, a, b, ci + h, cj, kk + h, h, base),
+        || mm_rec(joiner, c, a, b, ci + h, cj + h, kk + h, h, base),
+    );
+}
+
+/// `ikj` tile kernel for the direct recursion.
+///
+/// # Safety
+/// As [`mm_rec`].
+unsafe fn mm_kernel<T: Semiring>(
+    c: GepMat<'_, T>,
+    a: RoMat<'_, T>,
+    b: RoMat<'_, T>,
+    ci: usize,
+    cj: usize,
+    kk: usize,
+    s: usize,
+) {
+    for i in ci..ci + s {
+        let crow = c.row_ptr(i);
+        for k in kk..kk + s {
+            let u = a.get(i, k);
+            let brow = b.row_ptr(k);
+            for j in cj..cj + s {
+                *crow.add(j) = T::fma(*crow.add(j), u, *brow.add(j));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::matmul_reference;
+
+    fn rnd(n: usize, seed: u64) -> Matrix<f64> {
+        let mut s = seed;
+        Matrix::from_fn(n, n, |_, _| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 2000) as f64 / 1000.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn embedding_matches_reference() {
+        for n in [1usize, 2, 4, 8, 16] {
+            let a = rnd(n, 1 + n as u64);
+            let b = rnd(n, 100 + n as u64);
+            let c0 = rnd(n, 200 + n as u64);
+            let want = {
+                let mut w = matmul_reference(&a, &b);
+                for i in 0..n {
+                    for j in 0..n {
+                        w[(i, j)] += c0[(i, j)];
+                    }
+                }
+                w
+            };
+            let got = matmul_gep(&a, &b, c0.clone(), 4);
+            assert!(got.approx_eq(&want, 1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dac_matches_reference() {
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let a = rnd(n, 3 + n as u64);
+            let b = rnd(n, 5 + n as u64);
+            let want = matmul_reference(&a, &b);
+            for base in [1usize, 4, 16] {
+                let got = matmul(&a, &b, base.min(n));
+                assert!(got.approx_eq(&want, 1e-9), "n={n} base={base}");
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_and_dac_agree_bitwise() {
+        // Both accumulate k in increasing order per cell, so results are
+        // bitwise identical despite f64 non-associativity.
+        let n = 16;
+        let a = rnd(n, 11);
+        let b = rnd(n, 13);
+        let dac = matmul(&a, &b, 2);
+        let emb = matmul_gep(&a, &b, Matrix::square(n, 0.0), 2);
+        assert_eq!(dac, emb);
+    }
+
+    #[test]
+    fn min_plus_distance_product() {
+        // Squaring the weight matrix of a graph gives 2-hop shortest
+        // distances.
+        let inf = MinPlus::ADD_IDENTITY;
+        let w = Matrix::from_rows(&[
+            vec![MinPlus(0), MinPlus(4), inf, inf],
+            vec![inf, MinPlus(0), MinPlus(1), inf],
+            vec![inf, inf, MinPlus(0), MinPlus(2)],
+            vec![MinPlus(3), inf, inf, MinPlus(0)],
+        ]);
+        let w2 = matmul(&w, &w, 2);
+        assert_eq!(w2[(0, 2)], MinPlus(5)); // 0->1->2
+        assert_eq!(w2[(1, 3)], MinPlus(3)); // 1->2->3
+        assert_eq!(w2[(0, 0)], MinPlus(0));
+        assert_eq!(w2[(2, 1)].0, inf.0.min(inf.0)); // still unreachable in 2 hops
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let n = 8;
+        let a = rnd(n, 21);
+        let id = Matrix::identity(n);
+        assert!(matmul(&a, &id, 2).approx_eq(&a, 1e-12));
+        assert!(matmul(&id, &a, 2).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn accumulation_adds_to_existing_c() {
+        let n = 4;
+        let a = rnd(n, 31);
+        let b = rnd(n, 37);
+        let mut c = Matrix::square(n, 1.0);
+        matmul_dac(&Serial, &mut c, &a, &b, 2);
+        let mut want = matmul_reference(&a, &b);
+        for i in 0..n {
+            for j in 0..n {
+                want[(i, j)] += 1.0;
+            }
+        }
+        assert!(c.approx_eq(&want, 1e-9));
+    }
+}

@@ -1,0 +1,317 @@
+//! Simple dynamic programs (the parenthesis problem) — the framework's
+//! reach beyond literal GEP loops.
+//!
+//! The paper's abstract and introduction note that the cache-oblivious
+//! framework was "adapted to solve important non-GEP problems such as …
+//! a class of dynamic programs termed 'simple-DP'" (Cherng–Ladner). A
+//! simple DP computes, over interval endpoints `0..=n`,
+//!
+//! ```text
+//! c[i][j] = w(i, j) + min_{i < k < j} ( c[i][k] + c[k][j] ),   j > i + 1
+//! ```
+//!
+//! with the adjacent values `c[i][i+1]` given. Instances include optimal
+//! polygon triangulation and RNA-folding-style chain problems.
+//!
+//! The naive loop fills the triangle diagonal by diagonal with
+//! `Θ(n³/B)` I/Os. [`solve`] is the cache-oblivious divide-and-conquer in
+//! the GEP spirit: split the endpoint range in half, solve both triangles,
+//! then fill the *cross block* (rows in the left half, columns in the
+//! right) by a quadrant recursion whose inter-quadrant contributions are
+//! min-plus block products — `Θ(n³)` work, `Θ(n³/(B√M))` I/Os, like
+//! I-GEP.
+//!
+//! The recursion maintains, for the cross block over rows `[r0, r1)` and
+//! columns `[c0, c1)`, the invariant that every cell `(i, j)` has already
+//! accumulated `c[i][k] + c[k][j]` for all split points
+//! `k ∈ [r1, c0)` (the "bridge" between the two index ranges), and still
+//! awaits exactly `k ∈ (i, r1) ∪ [c0, j)`. Quadrants are then processed
+//! bottom-left first (its pending window needs no siblings), the diagonal
+//! pair next (each after one block product against the bottom-left
+//! result), the top-right last (after two block products); at a `1 × 1`
+//! quadrant the pending window is empty and the cell is finalised with its
+//! `w(i, j)` term.
+
+use gep_matrix::Matrix;
+
+/// "Infinite" cost for unreached cells (safe to add without overflow).
+pub const INF: f64 = f64::INFINITY;
+
+/// Fills `c[i][j]` for `j > i + 1` by the classic diagonal-order loop —
+/// the iterative oracle.
+///
+/// `c` must hold the base values at `(i, i+1)`; other upper cells are
+/// overwritten.
+pub fn solve_iterative(c: &mut Matrix<f64>, w: &impl Fn(usize, usize) -> f64) {
+    let m = c.n(); // m = n + 1 endpoints
+    for len in 2..m {
+        for i in 0..m - len {
+            let j = i + len;
+            let mut best = INF;
+            for k in i + 1..j {
+                let cand = c[(i, k)] + c[(k, j)];
+                if cand < best {
+                    best = cand;
+                }
+            }
+            c[(i, j)] = best + w(i, j);
+        }
+    }
+}
+
+/// Cache-oblivious simple-DP solver.
+///
+/// `c` is an `(n+1) × (n+1)` matrix (with `n` a power of two) whose
+/// `(i, i+1)` entries hold the base values; on return the upper triangle
+/// holds the DP table. Cells with `j > i + 1` are initialised internally.
+///
+/// # Panics
+/// Panics unless `c.n() = n + 1` with `n` a power of two `>= 1`.
+pub fn solve(c: &mut Matrix<f64>, w: &impl Fn(usize, usize) -> f64) {
+    let m = c.n();
+    assert!(m >= 2, "need at least one interval");
+    let n = m - 1;
+    assert!(n.is_power_of_two(), "simple-DP needs 2^q intervals");
+    // Initialise the to-be-computed cells to +inf accumulators.
+    for i in 0..m {
+        for j in i + 2..m {
+            c[(i, j)] = INF;
+        }
+    }
+    solve_range(c, w, 0, n);
+}
+
+/// Solves the triangle over endpoints `[lo, hi]`.
+fn solve_range(c: &mut Matrix<f64>, w: &impl Fn(usize, usize) -> f64, lo: usize, hi: usize) {
+    if hi - lo <= 1 {
+        return; // the adjacent cell is a given base value
+    }
+    let mid = (lo + hi) / 2;
+    solve_range(c, w, lo, mid);
+    solve_range(c, w, mid, hi);
+    // Bridge k = mid for the top-level cross block (rows [lo, mid),
+    // cols [mid+1, hi]), establishing the cross-recursion invariant.
+    for i in lo..mid {
+        let left = c[(i, mid)];
+        for j in mid + 1..=hi {
+            let cand = left + c[(mid, j)];
+            if cand < c[(i, j)] {
+                c[(i, j)] = cand;
+            }
+        }
+    }
+    cross(c, w, lo, mid, mid + 1, hi + 1);
+}
+
+/// Min-plus block product: for `i ∈ [r0, r0+s)`, `j ∈ [c0, c0+s)`,
+/// `k ∈ [k0, k0+s)`: `c[i][j] = min(c[i][j], c[i][k] + c[k][j])`.
+/// The `(i, k)` and `(k, j)` blocks are final and disjoint from the
+/// target block.
+fn mult_accum(c: &mut Matrix<f64>, r0: usize, c0: usize, k0: usize, s: usize) {
+    for i in r0..r0 + s {
+        for k in k0..k0 + s {
+            let u = c[(i, k)];
+            if u == INF {
+                continue;
+            }
+            for j in c0..c0 + s {
+                let cand = u + c[(k, j)];
+                if cand < c[(i, j)] {
+                    c[(i, j)] = cand;
+                }
+            }
+        }
+    }
+}
+
+/// Fills the cross block rows `[r0, r1)` × cols `[c0, c1)` under the
+/// invariant described in the module docs. Row and column ranges have
+/// equal power-of-two sizes.
+fn cross(
+    c: &mut Matrix<f64>,
+    w: &impl Fn(usize, usize) -> f64,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+) {
+    let s = r1 - r0;
+    debug_assert_eq!(s, c1 - c0);
+    if s == 1 {
+        // Pending window empty: finalise with the w term.
+        let (i, j) = (r0, c0);
+        c[(i, j)] += w(i, j);
+        return;
+    }
+    let h = s / 2;
+    let (rm, cm) = (r0 + h, c0 + h);
+    // Bottom-left quadrant: rows [rm, r1), cols [c0, cm).
+    cross(c, w, rm, r1, c0, cm);
+    // Top-left: needs k ∈ [rm, r1) via Tri(rows X1 × X2) ⊗ R21.
+    mult_accum(c, r0, c0, rm, h);
+    cross(c, w, r0, rm, c0, cm);
+    // Bottom-right: needs k ∈ [c0, cm) via R21 ⊗ Tri(cols Y1 × Y2).
+    mult_accum(c, rm, cm, c0, h);
+    cross(c, w, rm, r1, cm, c1);
+    // Top-right: needs both k ∈ [rm, r1) and k ∈ [c0, cm).
+    mult_accum(c, r0, cm, rm, h);
+    mult_accum(c, r0, cm, c0, h);
+    cross(c, w, r0, rm, cm, c1);
+}
+
+/// Minimum-perimeter triangulation of a convex polygon with vertices
+/// `pts[0..=n]` (in convex position, in order): returns the total cost
+/// `Σ perimeter(triangle)` of the optimal triangulation.
+///
+/// Reduction to simple-DP form: with `d(i, j)` the chord length, set
+/// `ĉ[i][j] = cost[i][j] + d(i, j)`; then
+/// `ĉ[i][j] = min_k(ĉ[i][k] + ĉ[k][j]) + 2·d(i, j)`, base
+/// `ĉ[i][i+1] = d(i, i+1)`.
+///
+/// # Panics
+/// Panics unless the vertex count is `2^q + 1` for some `q >= 1`.
+pub fn min_perimeter_triangulation(pts: &[(f64, f64)]) -> f64 {
+    let n = pts.len() - 1;
+    assert!(n >= 2 && n.is_power_of_two(), "need 2^q + 1 vertices");
+    let d = |i: usize, j: usize| -> f64 {
+        let (xi, yi) = pts[i];
+        let (xj, yj) = pts[j];
+        ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt()
+    };
+    let mut c = Matrix::square(n + 1, 0.0);
+    for i in 0..n {
+        c[(i, i + 1)] = d(i, i + 1);
+    }
+    let w = move |i: usize, j: usize| 2.0 * d(i, j);
+    solve(&mut c, &w);
+    // Recover cost = ĉ − d over the whole polygon (0, n).
+    c[(0, n)] - d(0, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rnd_w(seed: u64) -> impl Fn(usize, usize) -> f64 {
+        move |i, j| {
+            let mut s = seed ^ ((i as u64) << 32) ^ j as u64 ^ 0x9E37;
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 1000) as f64 / 100.0
+        }
+    }
+
+    fn base_matrix(n: usize, seed: u64) -> Matrix<f64> {
+        let mut c = Matrix::square(n + 1, 0.0);
+        let mut s = seed | 1;
+        for i in 0..n {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            c[(i, i + 1)] = (s % 500) as f64 / 50.0;
+        }
+        c
+    }
+
+    #[test]
+    fn recursive_matches_iterative() {
+        for n in [1usize, 2, 4, 8, 16, 32, 64] {
+            let w = rnd_w(n as u64 * 7 + 1);
+            let mut a = base_matrix(n, 3 * n as u64 + 5);
+            let mut b = a.clone();
+            solve_iterative(&mut a, &w);
+            solve(&mut b, &w);
+            for i in 0..=n {
+                for j in i + 1..=n {
+                    assert!(
+                        (a[(i, j)] - b[(i, j)]).abs() < 1e-9,
+                        "n={n} cell ({i},{j}): {} vs {}",
+                        a[(i, j)],
+                        b[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_instance_by_hand() {
+        // n = 2, base c[0,1] = 3, c[1,2] = 4, w(0,2) = 10:
+        // c[0,2] = (3 + 4) + 10 = 17.
+        let mut c = Matrix::square(3, 0.0);
+        c[(0, 1)] = 3.0;
+        c[(1, 2)] = 4.0;
+        solve(&mut c, &|_, _| 10.0);
+        assert!((c[(0, 2)] - 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_triangulation() {
+        // Unit square (4 vertices = 2^? ... need 2^q + 1 = 5 points:
+        // a regular pentagon-like fan won't be hand-checkable; use the
+        // square split once: vertices of a unit square traversed in order
+        // plus the start-adjacent midpoint trick is awkward — instead,
+        // verify against the iterative oracle on a random convex polygon.
+        let n = 8;
+        let pts: Vec<(f64, f64)> = (0..=n)
+            .map(|i| {
+                let theta = std::f64::consts::PI * (i as f64) / (n as f64 + 0.5);
+                (theta.cos(), theta.sin())
+            })
+            .collect();
+        let fast = min_perimeter_triangulation(&pts);
+        // Oracle: direct O(n³) DP on the raw (non-transformed) recurrence.
+        let d = |i: usize, j: usize| -> f64 {
+            let (xi, yi) = pts[i];
+            let (xj, yj) = pts[j];
+            ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt()
+        };
+        let m = n + 1;
+        let mut cost = vec![vec![0.0f64; m]; m];
+        for len in 2..m {
+            for i in 0..m - len {
+                let j = i + len;
+                cost[i][j] = (i + 1..j)
+                    .map(|k| cost[i][k] + cost[k][j] + d(i, k) + d(k, j) + d(i, j))
+                    .fold(INF, f64::min);
+            }
+        }
+        assert!(
+            (fast - cost[0][n]).abs() < 1e-9,
+            "fast {fast} vs oracle {}",
+            cost[0][n]
+        );
+        assert!(fast > 0.0);
+    }
+
+    #[test]
+    fn triangle_needs_no_interior_chord() {
+        // 2 intervals (3 vertices): the polygon IS a triangle; cost is its
+        // perimeter... in the ĉ form: c[0,2] - d(0,2) = triangle cost =
+        // d(0,1)+d(1,2)+d(0,2).
+        let pts = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)];
+        let got = min_perimeter_triangulation(&pts);
+        let want = 1.0 + 2.0f64.sqrt() + 1.0;
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn monotone_in_weights() {
+        // Doubling every w doubles... no (base unchanged) — but cannot
+        // decrease any cell.
+        let n = 16;
+        let w1 = rnd_w(9);
+        let w1b = rnd_w(9);
+        let w2 = move |i: usize, j: usize| w1b(i, j) + 1.0;
+        let mut a = base_matrix(n, 4);
+        let mut b = a.clone();
+        solve(&mut a, &w1);
+        solve(&mut b, &w2);
+        for i in 0..=n {
+            for j in i + 2..=n {
+                assert!(b[(i, j)] >= a[(i, j)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Ablation: the §4.2 base-size tuning — how the iterative-kernel
+//! threshold affects optimised I-GEP (the paper found 128 best on Xeon,
+//! 64 on Opteron; recursing to single elements is markedly slower).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gep_apps::floyd_warshall::FwSpec;
+use gep_bench::workloads::random_dist_matrix;
+use gep_core::igep_opt;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("base_size_ablation");
+    g.sample_size(10);
+    let n = 512;
+    let input = random_dist_matrix(n, 16);
+    for base in [1usize, 4, 16, 64, 128, 256] {
+        g.bench_function(BenchmarkId::new("fw_igep", base), |bch| {
+            bch.iter(|| {
+                let mut m = input.clone();
+                igep_opt(&FwSpec::<i64>::new(), &mut m, base);
+                black_box(m[(0, 0)])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 10: Gaussian elimination without pivoting —
+//! GEP vs I-GEP vs the cache-aware blocked baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gep_apps::GaussianSpec;
+use gep_bench::workloads::dd_matrix;
+use gep_blaslike::ge_blocked;
+use gep_core::{gep_iterative, igep_opt};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_ge");
+    g.sample_size(10);
+    for n in [128usize, 256, 512] {
+        let input = dd_matrix(n, 10);
+        g.bench_with_input(BenchmarkId::new("gep", n), &input, |b, input| {
+            b.iter(|| {
+                let mut m = input.clone();
+                gep_iterative(&GaussianSpec, &mut m);
+                black_box(m[(0, 0)])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("igep_base64", n), &input, |b, input| {
+            b.iter(|| {
+                let mut m = input.clone();
+                igep_opt(&GaussianSpec, &mut m, 64);
+                black_box(m[(0, 0)])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_blas", n), &input, |b, input| {
+            b.iter(|| {
+                let mut m = input.clone();
+                ge_blocked(&mut m, 64);
+                black_box(m[(0, 0)])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 11: matrix multiplication — triple loop vs
+//! I-GEP (direct recursion and GEP embedding) vs blocked dgemm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gep_apps::matmul::{matmul, matmul_gep};
+use gep_apps::reference::matmul_reference;
+use gep_bench::workloads::rnd_matrix;
+use gep_blaslike::dgemm;
+use gep_matrix::Matrix;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_mm");
+    g.sample_size(10);
+    for n in [128usize, 256] {
+        let a = rnd_matrix(n, 11);
+        let b2 = rnd_matrix(n, 12);
+        g.bench_function(BenchmarkId::new("triple_loop", n), |bch| {
+            bch.iter(|| black_box(matmul_reference(&a, &b2)))
+        });
+        g.bench_function(BenchmarkId::new("igep_dac_base64", n), |bch| {
+            bch.iter(|| black_box(matmul(&a, &b2, 64.min(n))))
+        });
+        g.bench_function(BenchmarkId::new("igep_embedding", n), |bch| {
+            bch.iter(|| black_box(matmul_gep(&a, &b2, Matrix::square(n, 0.0), 64.min(n))))
+        });
+        g.bench_function(BenchmarkId::new("blocked_dgemm", n), |bch| {
+            bch.iter(|| {
+                let mut c = Matrix::square(n, 0.0);
+                dgemm(&mut c, &a, &b2);
+                black_box(c[(0, 0)])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

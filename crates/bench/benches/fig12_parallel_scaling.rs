@@ -1,0 +1,43 @@
+//! Criterion bench for Figure 12: multithreaded I-GEP thread scaling
+//! (bounded by this host's core count; see `repro fig12` for the
+//! predicted curves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gep_apps::floyd_warshall::FwSpec;
+use gep_bench::workloads::random_dist_matrix;
+use gep_matrix::Matrix;
+use gep_parallel::{igep_parallel, matmul_parallel, with_threads};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_parallel");
+    g.sample_size(10);
+    let n = 256;
+    let fw = random_dist_matrix(n, 13);
+    let a = gep_bench::workloads::rnd_matrix(n, 14);
+    let b2 = gep_bench::workloads::rnd_matrix(n, 15);
+    for threads in [1usize, 2, 4] {
+        g.bench_function(BenchmarkId::new("fw_igep", threads), |bch| {
+            bch.iter(|| {
+                with_threads(threads, || {
+                    let mut m = fw.clone();
+                    igep_parallel(&FwSpec::<i64>::new(), &mut m, 64);
+                    black_box(m[(0, 0)])
+                })
+            })
+        });
+        g.bench_function(BenchmarkId::new("mm_dac", threads), |bch| {
+            bch.iter(|| {
+                with_threads(threads, || {
+                    let mut c = Matrix::square(n, 0.0);
+                    matmul_parallel(&mut c, &a, &b2, 64);
+                    black_box(c[(0, 0)])
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 8: in-core Floyd–Warshall, GEP vs I-GEP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gep_apps::floyd_warshall::FwSpec;
+use gep_bench::workloads::random_dist_matrix;
+use gep_core::{gep_iterative, igep_opt};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = FwSpec::<i64>::new();
+    let mut g = c.benchmark_group("fig8_fw_incore");
+    g.sample_size(10);
+    for n in [128usize, 256, 512] {
+        let input = random_dist_matrix(n, 8);
+        g.bench_with_input(BenchmarkId::new("gep", n), &input, |b, input| {
+            b.iter(|| {
+                let mut m = input.clone();
+                gep_iterative(&spec, &mut m);
+                black_box(m[(0, 0)])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("igep_base64", n), &input, |b, input| {
+            b.iter(|| {
+                let mut m = input.clone();
+                igep_opt(&spec, &mut m, 64);
+                black_box(m[(0, 0)])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 9: I-GEP vs both C-GEP variants
+//! (all through the same store-generic engines, base case 16).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gep_apps::floyd_warshall::FwSpec;
+use gep_bench::workloads::random_dist_matrix;
+use gep_core::{cgep_full, cgep_reduced, igep};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = FwSpec::<i64>::new();
+    let mut g = c.benchmark_group("fig9_cgep_overhead");
+    g.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let input = random_dist_matrix(n, 9);
+        g.bench_with_input(BenchmarkId::new("igep", n), &input, |b, input| {
+            b.iter(|| {
+                let mut m = input.clone();
+                igep(&spec, &mut m, 16);
+                black_box(m[(0, 0)])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cgep_4n2", n), &input, |b, input| {
+            b.iter(|| {
+                let mut m = input.clone();
+                cgep_full(&spec, &mut m, 16);
+                black_box(m[(0, 0)])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cgep_reduced", n), &input, |b, input| {
+            b.iter(|| {
+                let mut m = input.clone();
+                cgep_reduced(&spec, &mut m, 16);
+                black_box(m[(0, 0)])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

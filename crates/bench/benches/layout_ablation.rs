@@ -1,0 +1,62 @@
+//! Ablation for the §4.2 bit-interleaved layout:
+//!
+//! * the conversion cost the paper charges to its reported times
+//!   (row-major → Morton-tiled → row-major), and
+//! * tile-access locality: scanning aligned tiles of a Morton-tiled
+//!   matrix (contiguous) vs the same tiles of a row-major matrix
+//!   (strided).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gep_bench::workloads::rnd_matrix;
+use gep_matrix::TiledMatrix;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layout_ablation");
+    g.sample_size(20);
+    for n in [256usize, 1024] {
+        let m = rnd_matrix(n, 17);
+        let tile = 64.min(n);
+        g.bench_function(BenchmarkId::new("convert_roundtrip", n), |bch| {
+            bch.iter(|| {
+                let t = TiledMatrix::from_matrix(&m, tile);
+                black_box(t.to_matrix()[(0, 0)])
+            })
+        });
+        let tiled = TiledMatrix::from_matrix(&m, tile);
+        let tiles = n / tile;
+        g.bench_function(BenchmarkId::new("tile_scan_morton", n), |bch| {
+            bch.iter(|| {
+                let mut acc = 0.0;
+                for bi in 0..tiles {
+                    for bj in 0..tiles {
+                        for &v in tiled.tile_slice(bi, bj) {
+                            acc += v;
+                        }
+                    }
+                }
+                black_box(acc)
+            })
+        });
+        g.bench_function(BenchmarkId::new("tile_scan_rowmajor", n), |bch| {
+            bch.iter(|| {
+                let mut acc = 0.0;
+                for bi in 0..tiles {
+                    for bj in 0..tiles {
+                        for r in 0..tile {
+                            let row = &m.row(bi * tile + r)[bj * tile..(bj + 1) * tile];
+                            for &v in row {
+                                acc += v;
+                            }
+                        }
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

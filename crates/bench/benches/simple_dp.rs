@@ -1,0 +1,49 @@
+//! Criterion bench: simple-DP (parenthesis problem) — diagonal-order loop
+//! vs the cache-oblivious cross recursion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gep_apps::simple_dp::{solve, solve_iterative};
+use gep_matrix::Matrix;
+use std::hint::black_box;
+
+fn base(n: usize) -> Matrix<f64> {
+    let mut c = Matrix::square(n + 1, 0.0);
+    let mut s = 1u64;
+    for i in 0..n {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        c[(i, i + 1)] = (s % 500) as f64 / 50.0;
+    }
+    c
+}
+
+fn w(i: usize, j: usize) -> f64 {
+    ((i * 31 + j * 17) % 101) as f64 / 10.0
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simple_dp");
+    g.sample_size(10);
+    for n in [128usize, 256, 512] {
+        let init = base(n);
+        g.bench_with_input(BenchmarkId::new("iterative", n), &init, |b, init| {
+            b.iter(|| {
+                let mut m = init.clone();
+                solve_iterative(&mut m, &w);
+                black_box(m[(0, n)])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cache_oblivious", n), &init, |b, init| {
+            b.iter(|| {
+                let mut m = init.clone();
+                solve(&mut m, &w);
+                black_box(m[(0, n)])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

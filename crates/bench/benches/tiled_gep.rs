@@ -1,0 +1,44 @@
+//! Criterion bench for §2.3: cache-aware tiled GEP vs cache-oblivious
+//! I-GEP vs the plain loop, on Floyd–Warshall.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gep_apps::floyd_warshall::FwSpec;
+use gep_bench::workloads::random_dist_matrix;
+use gep_blaslike::gep_tiled;
+use gep_core::{gep_iterative, igep_opt};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = FwSpec::<i64>::new();
+    let mut g = c.benchmark_group("tiled_gep_sec23");
+    g.sample_size(10);
+    let n = 512;
+    let input = random_dist_matrix(n, 23);
+    g.bench_function(BenchmarkId::new("gep_loop", n), |b| {
+        b.iter(|| {
+            let mut m = input.clone();
+            gep_iterative(&spec, &mut m);
+            black_box(m[(0, 0)])
+        })
+    });
+    for tile in [16usize, 64, 128] {
+        g.bench_function(BenchmarkId::new(format!("tiled_gep_t{tile}"), n), |b| {
+            b.iter(|| {
+                let mut m = input.clone();
+                gep_tiled(&spec, &mut m, tile);
+                black_box(m[(0, 0)])
+            })
+        });
+    }
+    g.bench_function(BenchmarkId::new("igep_oblivious_b64", n), |b| {
+        b.iter(|| {
+            let mut m = input.clone();
+            igep_opt(&spec, &mut m, 64);
+            black_box(m[(0, 0)])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

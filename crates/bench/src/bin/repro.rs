@@ -1,0 +1,144 @@
+//! The reproduction driver: one subcommand per paper figure/table.
+//!
+//! ```text
+//! cargo run -p gep-bench --release --bin repro -- all --quick
+//! cargo run -p gep-bench --release --bin repro -- fig8
+//! ```
+
+use gep_bench::experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let known = [
+        "counterexample",
+        "table1",
+        "table2",
+        "fig7a",
+        "fig7b",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "span",
+        "space",
+        "lemma31",
+        "lemma32",
+        "layout",
+        "all",
+    ];
+    if !known.contains(&what) {
+        eprintln!("unknown experiment '{what}'; one of: {}", known.join(", "));
+        std::process::exit(2);
+    }
+
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("counterexample") {
+        theory::counterexample();
+    }
+    if run("table1") {
+        theory::table1(if quick { 8 } else { 16 });
+    }
+    if run("table2") {
+        theory::table2();
+    }
+    if run("fig7a") {
+        let (n, b) = if quick { (128, 128) } else { (256, 256) };
+        fig7::fig7a(n, b, &[1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0]);
+    }
+    if run("fig7b") {
+        // Fixed M = 1/4 of the matrix; sweep B. Tall cache M >= B²
+        // (elements) bounds the largest useful B.
+        let n = if quick { 128 } else { 256 };
+        let m = (n * n * 8 / 4) as u64;
+        let bs: &[u64] = if quick {
+            &[64, 128, 256, 512]
+        } else {
+            &[128, 256, 512, 1024, 2048]
+        };
+        fig7::fig7b(n, m, bs);
+    }
+    if run("fig8") {
+        let sizes: &[usize] = if quick {
+            &[128, 256, 512]
+        } else {
+            &[256, 512, 1024, 2048]
+        };
+        fig8::fig8(sizes, if quick { 1 } else { 3 });
+        // n = 512 i64 = 2 MB: the first power of two above the Xeon's
+        // 512 KB L2 (smaller sizes fit and show only compulsory misses).
+        fig8::fig8_misses(&[512]);
+    }
+    if run("fig9") {
+        // 512 caps the sweep: the reduced-space variant's bookkeeping
+        // makes larger sizes impractically slow (see EXPERIMENTS.md).
+        let sizes: &[usize] = if quick {
+            &[64, 128, 256]
+        } else {
+            &[128, 256, 512]
+        };
+        fig9::fig9_time(sizes, if quick { 1 } else { 3 });
+        let miss_sizes: &[usize] = if quick { &[64, 128] } else { &[128, 256] };
+        fig9::fig9_misses(miss_sizes);
+    }
+    if run("fig10") {
+        let sizes: &[usize] = if quick {
+            &[128, 256, 512]
+        } else {
+            &[256, 512, 1024, 2048]
+        };
+        fig10::fig10(sizes, if quick { 1 } else { 3 });
+    }
+    if run("fig11") {
+        let sizes: &[usize] = if quick {
+            &[128, 256, 512]
+        } else {
+            &[256, 512, 1024]
+        };
+        fig11::fig11_time(sizes, if quick { 1 } else { 3 });
+        // f64 matrices: 3 x 512 KB at n = 256 exceed the Opteron's 1 MB
+        // L2; n = 128 discriminates only in L1.
+        let miss_sizes: &[usize] = if quick { &[128] } else { &[128, 256] };
+        fig11::fig11_misses(miss_sizes);
+    }
+    if run("fig12") {
+        let n = if quick { 256 } else { 1024 };
+        let max_threads = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1)
+            .max(8);
+        let threads: Vec<usize> = (1..=max_threads.min(8)).collect();
+        fig12::fig12(n, &threads, if quick { 1 } else { 2 });
+    }
+    if run("span") {
+        theory::span_report(if quick { 1 << 10 } else { 1 << 13 });
+    }
+    if run("space") {
+        let sizes: &[usize] = if quick { &[8, 16, 32] } else { &[8, 16, 32, 64] };
+        theory::space_report(sizes);
+    }
+    if run("layout") {
+        let sizes: &[usize] = if quick { &[256] } else { &[256, 512] };
+        layout::layout_study(sizes, 64);
+    }
+    if run("lemma31") {
+        let (n, m, b) = if quick {
+            (64, 8 * 1024, 128)
+        } else {
+            (128, 16 * 1024, 128)
+        };
+        lemma::lemma31(n, m as u64, b);
+    }
+    if run("lemma32") {
+        let (n, m1) = if quick { (32, 2 * 1024) } else { (64, 4 * 1024) };
+        lemma::lemma32(n, m1, 64);
+    }
+}

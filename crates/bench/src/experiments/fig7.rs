@@ -1,0 +1,213 @@
+//! Figure 7: out-of-core Floyd–Warshall — I/O wait time of GEP, I-GEP and
+//! C-GEP on the simulated STXXL stack.
+//!
+//! 7(a): fixed `n` and `B`, sweep the cache size `M`.
+//! 7(b): fixed `n` and `M`, sweep `B` (i.e. `M/B`).
+//!
+//! Paper shapes to reproduce: GEP's wait is orders of magnitude above
+//! I-GEP/C-GEP and flat in `M`; I-GEP/C-GEP improve as `M` grows; wait
+//! grows roughly linearly with `M/B` at fixed `M` (blocks shrink, so
+//! transfers stop amortising seeks).
+
+use crate::util::print_table;
+use gep_apps::floyd_warshall::FwSpec;
+use gep_core::{cgep_full_with, cgep_reduced, gep_iterative, igep};
+use gep_extmem::{DiskProfile, ExtArena, ExtMatrix, SharedArena};
+use gep_matrix::Matrix;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which engine an out-of-core run used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Iterative GEP (Figure 1).
+    Gep,
+    /// Cache-oblivious I-GEP (Figure 2).
+    IGep,
+    /// C-GEP with four full snapshot matrices (all on disk).
+    CGepFull,
+    /// C-GEP with the liveness-managed snapshot store (snapshots in RAM).
+    CGepReduced,
+}
+
+impl Engine {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Gep => "GEP",
+            Engine::IGep => "I-GEP",
+            Engine::CGepFull => "C-GEP (4n²)",
+            Engine::CGepReduced => "C-GEP (n²+n)",
+        }
+    }
+}
+
+/// One measured out-of-core run.
+#[derive(Clone, Copy, Debug)]
+pub struct OocRun {
+    /// Engine used.
+    pub engine: Engine,
+    /// Page-cache bytes.
+    pub m_bytes: u64,
+    /// Page bytes.
+    pub b_bytes: u64,
+    /// Modelled I/O wait (seconds), excluding the input-loading phase.
+    pub wait_s: f64,
+    /// Block transfers, excluding loading.
+    pub transfers: u64,
+}
+
+fn shared(m_bytes: u64, b_bytes: u64) -> SharedArena<i64> {
+    Rc::new(RefCell::new(ExtArena::new(
+        m_bytes,
+        b_bytes,
+        DiskProfile::fujitsu_map3735nc(),
+    )))
+}
+
+/// Runs one engine out-of-core and measures its post-load I/O.
+pub fn run_ooc(engine: Engine, input: &Matrix<i64>, m_bytes: u64, b_bytes: u64) -> OocRun {
+    let spec = FwSpec::<i64>::new();
+    let arena = shared(m_bytes, b_bytes);
+    let mut c = ExtMatrix::from_matrix(arena.clone(), input);
+    // C-GEP's snapshot matrices also live on disk, initialised to the
+    // input (Figure 3); their loading is part of the algorithm's overhead,
+    // so it is *not* subtracted.
+    let baseline = arena.borrow().io_stats();
+    match engine {
+        Engine::Gep => gep_iterative(&spec, &mut c),
+        Engine::IGep => igep(&spec, &mut c, 1),
+        Engine::CGepFull => {
+            let mut u0 = ExtMatrix::from_matrix(arena.clone(), input);
+            let mut u1 = ExtMatrix::from_matrix(arena.clone(), input);
+            let mut v0 = ExtMatrix::from_matrix(arena.clone(), input);
+            let mut v1 = ExtMatrix::from_matrix(arena.clone(), input);
+            cgep_full_with(&spec, &mut c, &mut u0, &mut u1, &mut v0, &mut v1, 1, false);
+        }
+        Engine::CGepReduced => {
+            cgep_reduced(&spec, &mut c, 1);
+        }
+    }
+    let end = arena.borrow().io_stats();
+    OocRun {
+        engine,
+        m_bytes,
+        b_bytes,
+        wait_s: end.wait_s - baseline.wait_s,
+        transfers: end.transfers() - baseline.transfers(),
+    }
+}
+
+/// Figure 7(a): sweep `M` at fixed `n`, `B`.
+pub fn fig7a(n: usize, b_bytes: u64, m_fractions: &[f64]) -> Vec<OocRun> {
+    let input = crate::workloads::random_dist_matrix(n, 61607);
+    let matrix_bytes = (n * n * 8) as u64;
+    let mut runs = vec![];
+    let mut rows = vec![];
+    for &frac in m_fractions {
+        let m_bytes = ((matrix_bytes as f64 * frac) as u64).max(4 * b_bytes);
+        let mut row = vec![format!("{frac:.3}"), format!("{} KiB", m_bytes / 1024)];
+        for eng in [
+            Engine::Gep,
+            Engine::IGep,
+            Engine::CGepFull,
+            Engine::CGepReduced,
+        ] {
+            let r = run_ooc(eng, &input, m_bytes, b_bytes);
+            row.push(format!("{:.2}", r.wait_s));
+            runs.push(r);
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Figure 7(a): out-of-core FW, n={n}, B={b_bytes} B — I/O wait (modelled s) vs M"),
+        &[
+            "M/matrix",
+            "M",
+            "GEP",
+            "I-GEP",
+            "C-GEP 4n²",
+            "C-GEP n²+n",
+        ],
+        &rows,
+    );
+    runs
+}
+
+/// Figure 7(b): sweep `B` (i.e. `M/B`) at fixed `n`, `M`.
+pub fn fig7b(n: usize, m_bytes: u64, b_list: &[u64]) -> Vec<OocRun> {
+    let input = crate::workloads::random_dist_matrix(n, 61617);
+    let mut runs = vec![];
+    let mut rows = vec![];
+    for &b in b_list {
+        let mut row = vec![(m_bytes / b).to_string(), format!("{b} B")];
+        for eng in [
+            Engine::Gep,
+            Engine::IGep,
+            Engine::CGepFull,
+            Engine::CGepReduced,
+        ] {
+            let r = run_ooc(eng, &input, m_bytes, b);
+            row.push(format!("{:.2}", r.wait_s));
+            runs.push(r);
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!(
+            "Figure 7(b): out-of-core FW, n={n}, M={} KiB — I/O wait (modelled s) vs M/B",
+            m_bytes / 1024
+        ),
+        &[
+            "M/B",
+            "B",
+            "GEP",
+            "I-GEP",
+            "C-GEP 4n²",
+            "C-GEP n²+n",
+        ],
+        &rows,
+    );
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small-scale shape check of the Figure 7 claims.
+    #[test]
+    fn gep_dominates_and_igep_improves_with_m() {
+        let n = 64;
+        let input = crate::workloads::random_dist_matrix(n, 1);
+        let b = 128; // tall cache: 16 elems/page, B² = 256 elems << M
+        let small = run_ooc(Engine::IGep, &input, 8 * 1024, b);
+        let big = run_ooc(Engine::IGep, &input, 16 * 1024, b);
+        assert!(big.wait_s < small.wait_s, "I-GEP improves with M");
+        let gep_small = run_ooc(Engine::Gep, &input, 8 * 1024, b);
+        let gep_big = run_ooc(Engine::Gep, &input, 16 * 1024, b);
+        assert!(
+            gep_small.wait_s > 3.0 * small.wait_s,
+            "GEP waits much longer than I-GEP"
+        );
+        // GEP barely improves with M (less than 30% for 2x cache).
+        assert!(gep_big.wait_s > 0.7 * gep_small.wait_s);
+    }
+
+    #[test]
+    fn cgep_out_of_core_produces_correct_result() {
+        let n = 32;
+        let input = crate::workloads::random_dist_matrix(n, 2);
+        let spec = FwSpec::<i64>::new();
+        let arena = shared(4096, 128);
+        let mut c = ExtMatrix::from_matrix(arena.clone(), &input);
+        let mut u0 = ExtMatrix::from_matrix(arena.clone(), &input);
+        let mut u1 = ExtMatrix::from_matrix(arena.clone(), &input);
+        let mut v0 = ExtMatrix::from_matrix(arena.clone(), &input);
+        let mut v1 = ExtMatrix::from_matrix(arena.clone(), &input);
+        cgep_full_with(&spec, &mut c, &mut u0, &mut u1, &mut v0, &mut v1, 1, false);
+        let mut oracle = input.clone();
+        gep_iterative(&spec, &mut oracle);
+        assert_eq!(c.to_matrix(), oracle);
+    }
+}

@@ -1,0 +1,137 @@
+//! Figure 8: in-core Floyd–Warshall — GEP vs I-GEP wall time.
+//!
+//! Paper shape: optimised I-GEP runs ~4–5× faster than (reasonably
+//! optimised) iterative GEP, and the gap holds or widens with `n`.
+
+use crate::util::{fmt_secs, print_table, timed_best};
+use crate::workloads::random_dist_matrix;
+use gep_apps::floyd_warshall::FwSpec;
+use gep_cachesim::{AddressSpace, TrackedMatrix};
+use gep_core::{gep_iterative, igep, igep_opt};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One (n, engine) timing.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig8Row {
+    /// Matrix side.
+    pub n: usize,
+    /// Iterative GEP seconds.
+    pub gep_s: f64,
+    /// Optimised I-GEP seconds (base 64).
+    pub igep_s: f64,
+}
+
+impl Fig8Row {
+    /// GEP time / I-GEP time.
+    pub fn speedup(&self) -> f64 {
+        self.gep_s / self.igep_s
+    }
+}
+
+/// Runs the sweep and prints the table.
+pub fn fig8(sizes: &[usize], reps: usize) -> Vec<Fig8Row> {
+    let spec = FwSpec::<i64>::new();
+    let mut out = vec![];
+    let mut rows = vec![];
+    for &n in sizes {
+        let input = random_dist_matrix(n, 61608 + n as u64);
+        let (_, gep_s) = timed_best(reps, || {
+            let mut c = input.clone();
+            gep_iterative(&spec, &mut c);
+            c
+        });
+        let (_, igep_s) = timed_best(reps, || {
+            let mut c = input.clone();
+            igep_opt(&spec, &mut c, 64);
+            c
+        });
+        let row = Fig8Row { n, gep_s, igep_s };
+        rows.push(vec![
+            n.to_string(),
+            fmt_secs(gep_s),
+            fmt_secs(igep_s),
+            format!("{:.2}x", row.speedup()),
+            format!("{:.0}", n as f64 * n as f64 * n as f64 / igep_s / 1e6),
+        ]);
+        out.push(row);
+    }
+    print_table(
+        "Figure 8: in-core Floyd–Warshall (i64 min-plus)",
+        &["n", "GEP", "I-GEP (base 64)", "speedup", "I-GEP Mupd/s"],
+        &rows,
+    );
+    println!("paper: I-GEP ≈ 4–5x faster than GEP on Xeon/Opteron.");
+    println!("note: wall-clock gaps shrink on hosts whose last-level cache dwarfs the");
+    println!("      paper's 512 KB–1 MB L2; the simulated-Xeon miss counts below show");
+    println!("      the machine-matched effect.");
+    out
+}
+
+/// L2 miss counts of GEP vs I-GEP on the simulated Intel Xeon (the
+/// Figure 8 machine): `(n, gep_l2, igep_l2)`.
+pub fn fig8_misses(sizes: &[usize]) -> Vec<(usize, u64, u64)> {
+    let spec = FwSpec::<i64>::new();
+    let xeon = gep_cachesim::table2_machines()[0];
+    let mut out = vec![];
+    let mut rows = vec![];
+    for &n in sizes {
+        let input = random_dist_matrix(n, 61608);
+        let run = |use_igep: bool| {
+            let cache = Rc::new(RefCell::new(xeon.hierarchy()));
+            let mut space = AddressSpace::new();
+            let mut t = TrackedMatrix::new(input.clone(), cache.clone(), &mut space);
+            if use_igep {
+                igep(&spec, &mut t, 1);
+            } else {
+                gep_iterative(&spec, &mut t);
+            }
+            let h = cache.borrow();
+            h.l2_stats().misses
+        };
+        let g = run(false);
+        let f = run(true);
+        rows.push(vec![
+            n.to_string(),
+            g.to_string(),
+            f.to_string(),
+            format!("{:.1}x", g as f64 / f.max(1) as f64),
+        ]);
+        out.push((n, g, f));
+    }
+    print_table(
+        "Figure 8 (cache view): L2 misses on the simulated Intel Xeon",
+        &["n", "GEP L2 misses", "I-GEP L2 misses", "ratio"],
+        &rows,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn igep_beats_gep_in_core() {
+        // Shape check at a modest size; the gap is host-cache dependent
+        // (the full sweep and the simulated-Xeon misses run via `repro`).
+        let rows = fig8(&[512], 1);
+        assert!(
+            rows[0].speedup() > 1.1,
+            "I-GEP should beat GEP: {:.2}x",
+            rows[0].speedup()
+        );
+    }
+
+    #[test]
+    fn igep_far_fewer_l2_misses_on_simulated_xeon() {
+        // n = 512 i64 = 2 MB matrix >> 512 KB Xeon L2. This is the
+        // regime Figure 8 measures (n = 256 fits L2 exactly and shows
+        // only compulsory misses for both engines).
+        let (_, g, f) = fig8_misses(&[512])[0];
+        assert!(
+            f * 3 < g,
+            "I-GEP should miss at least 3x less in L2: igep={f} gep={g}"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Figure 9: I-GEP vs both C-GEP variants in-core — wall time and L2
+//! misses.
+//!
+//! Paper shapes: both C-GEP variants are slower than I-GEP and incur more
+//! L2 misses (they write four snapshot matrices); the `4n²` variant beats
+//! the reduced-space variant; the relative overhead shrinks as `n` grows.
+
+use crate::util::{fmt_secs, print_table, timed_best};
+use crate::workloads::random_dist_matrix;
+use gep_apps::floyd_warshall::FwSpec;
+use gep_cachesim::{AddressSpace, TrackedMatrix};
+use gep_core::{cgep_full, cgep_reduced, igep};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One (n, engine) measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig9Row {
+    /// Matrix side.
+    pub n: usize,
+    /// I-GEP seconds.
+    pub igep_s: f64,
+    /// C-GEP 4n² seconds.
+    pub cgep4_s: f64,
+    /// C-GEP reduced seconds.
+    pub cgepr_s: f64,
+}
+
+/// Timing sweep (all engines run through the same store-generic code path
+/// with base case 16, so the comparison isolates the snapshot overhead).
+pub fn fig9_time(sizes: &[usize], reps: usize) -> Vec<Fig9Row> {
+    let spec = FwSpec::<i64>::new();
+    let mut out = vec![];
+    let mut rows = vec![];
+    for &n in sizes {
+        let input = random_dist_matrix(n, 61609 + n as u64);
+        let (_, igep_s) = timed_best(reps, || {
+            let mut c = input.clone();
+            igep(&spec, &mut c, 16);
+            c
+        });
+        let (_, cgep4_s) = timed_best(reps, || {
+            let mut c = input.clone();
+            cgep_full(&spec, &mut c, 16);
+            c
+        });
+        let (_, cgepr_s) = timed_best(reps, || {
+            let mut c = input.clone();
+            cgep_reduced(&spec, &mut c, 16);
+            c
+        });
+        out.push(Fig9Row {
+            n,
+            igep_s,
+            cgep4_s,
+            cgepr_s,
+        });
+        rows.push(vec![
+            n.to_string(),
+            fmt_secs(igep_s),
+            format!("{} ({:.2}x)", fmt_secs(cgep4_s), cgep4_s / igep_s),
+            format!("{} ({:.2}x)", fmt_secs(cgepr_s), cgepr_s / igep_s),
+        ]);
+    }
+    print_table(
+        "Figure 9 (time): I-GEP vs C-GEP variants, in-core FW",
+        &["n", "I-GEP", "C-GEP 4n²", "C-GEP n²+n"],
+        &rows,
+    );
+    println!("paper: C-GEP slower than I-GEP; 4n² variant beats n²+n variant.");
+    out
+}
+
+/// L2 miss counts on the simulated Intel Xeon hierarchy.
+pub fn fig9_misses(sizes: &[usize]) -> Vec<(usize, u64, u64)> {
+    let spec = FwSpec::<i64>::new();
+    let xeon = gep_cachesim::table2_machines()[0];
+    let mut out = vec![];
+    let mut rows = vec![];
+    for &n in sizes {
+        let input = random_dist_matrix(n, 61609);
+        // I-GEP.
+        let cache = Rc::new(RefCell::new(xeon.hierarchy()));
+        let mut space = AddressSpace::new();
+        let mut c = TrackedMatrix::new(input.clone(), cache.clone(), &mut space);
+        igep(&spec, &mut c, 16);
+        let igep_l2 = cache.borrow().l2_stats().misses;
+
+        // C-GEP 4n² with all five matrices through the same hierarchy.
+        let cache = Rc::new(RefCell::new(xeon.hierarchy()));
+        let mut space = AddressSpace::new();
+        let mut c = TrackedMatrix::new(input.clone(), cache.clone(), &mut space);
+        let mut u0 = TrackedMatrix::new(input.clone(), cache.clone(), &mut space);
+        let mut u1 = TrackedMatrix::new(input.clone(), cache.clone(), &mut space);
+        let mut v0 = TrackedMatrix::new(input.clone(), cache.clone(), &mut space);
+        let mut v1 = TrackedMatrix::new(input.clone(), cache.clone(), &mut space);
+        gep_core::cgep_full_with(&spec, &mut c, &mut u0, &mut u1, &mut v0, &mut v1, 16, false);
+        let cgep_l2 = cache.borrow().l2_stats().misses;
+
+        out.push((n, igep_l2, cgep_l2));
+        rows.push(vec![
+            n.to_string(),
+            igep_l2.to_string(),
+            format!("{} ({:.2}x)", cgep_l2, cgep_l2 as f64 / igep_l2.max(1) as f64),
+        ]);
+    }
+    print_table(
+        "Figure 9 (L2 misses): simulated Intel Xeon hierarchy",
+        &["n", "I-GEP L2 misses", "C-GEP 4n² L2 misses"],
+        &rows,
+    );
+    out
+}
+
+/// Sanity: C-GEP engines still compute FW correctly at bench sizes.
+pub fn verify_engines(n: usize) -> bool {
+    let spec = FwSpec::<i64>::new();
+    let input = random_dist_matrix(n, 5);
+    let mut a = input.clone();
+    igep(&spec, &mut a, 16);
+    let mut b = input.clone();
+    cgep_full(&spec, &mut b, 16);
+    let mut c = input.clone();
+    cgep_reduced(&spec, &mut c, 16);
+    let mut g = input.clone();
+    gep_core::gep_iterative(&spec, &mut g);
+    a == g && b == g && c == g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_verified() {
+        assert!(verify_engines(64));
+    }
+
+    #[test]
+    fn cgep_overhead_shape() {
+        let rows = fig9_time(&[64], 1);
+        let r = rows[0];
+        assert!(r.cgep4_s > r.igep_s, "C-GEP must cost more than I-GEP");
+    }
+
+    #[test]
+    fn cgep_misses_more_than_igep() {
+        let rows = fig9_misses(&[64]);
+        let (_, igep, cgep) = rows[0];
+        assert!(cgep > igep);
+    }
+}

@@ -1,0 +1,11 @@
+//! One module per reproduced figure/table.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod layout;
+pub mod lemma;
+pub mod theory;

@@ -1,0 +1,97 @@
+//! Two-level cache hierarchy (L1 + L2), as measured by the paper's
+//! Cachegrind runs.
+
+use crate::{CacheModel, CacheStats, SetAssocCache};
+
+/// An inclusive-ish two-level hierarchy: every access touches L1; L1
+/// misses are forwarded to L2. (Cachegrind's model; inclusion is implied
+/// by both being LRU over the same stream.)
+#[derive(Debug)]
+pub struct Hierarchy {
+    /// First-level cache.
+    pub l1: SetAssocCache,
+    /// Second-level cache.
+    pub l2: SetAssocCache,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from two caches.
+    pub fn new(l1: SetAssocCache, l2: SetAssocCache) -> Self {
+        Self { l1, l2 }
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// L2 statistics (accesses = L1 misses).
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+}
+
+impl CacheModel for Hierarchy {
+    fn access(&mut self, addr: u64) -> bool {
+        if self.l1.access(addr) {
+            true
+        } else {
+            self.l2.access(addr);
+            false
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Hierarchy {
+        Hierarchy::new(
+            SetAssocCache::new(4 * 64, 2, 64),
+            SetAssocCache::new(16 * 64, 4, 64),
+        )
+    }
+
+    #[test]
+    fn l2_sees_only_l1_misses() {
+        let mut h = small();
+        for _ in 0..10 {
+            h.access(0);
+        }
+        assert_eq!(h.l1_stats().misses, 1);
+        assert_eq!(h.l1_stats().hits, 9);
+        assert_eq!(h.l2_stats().accesses(), 1);
+    }
+
+    #[test]
+    fn working_set_between_l1_and_l2_hits_l2() {
+        let mut h = small();
+        // 8 blocks: fits L2 (16 blocks), not L1 (4 blocks).
+        for _round in 0..10 {
+            for b in 0..8u64 {
+                h.access(b * 64);
+            }
+        }
+        assert!(h.l1_stats().misses > 8, "L1 thrashes");
+        assert_eq!(h.l2_stats().misses, 8, "L2 misses only compulsory");
+    }
+
+    #[test]
+    fn reset_clears_both_levels() {
+        let mut h = small();
+        h.access(0);
+        h.reset();
+        assert_eq!(h.l1_stats(), CacheStats::default());
+        assert_eq!(h.l2_stats(), CacheStats::default());
+    }
+}

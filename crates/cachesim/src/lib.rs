@@ -1,0 +1,86 @@
+//! # gep-cachesim — cache simulators (the paper's Cachegrind substitute)
+//!
+//! The paper measures cache misses with the Cachegrind profiler and
+//! analyses algorithms in the ideal-cache model (a fully associative cache
+//! of size `M` with block size `B`). This crate provides both:
+//!
+//! * [`IdealCache`] — fully associative LRU cache parameterised by
+//!   `(M, B)`; the ideal-cache model up to the standard LRU-for-OPT
+//!   substitution (competitive within a factor of two at double the
+//!   capacity, and exactly what Cachegrind-style tools simulate);
+//! * [`SetAssocCache`] — set-associative LRU, configurable
+//!   `(size, ways, B)`;
+//! * [`Hierarchy`] — a two-level L1/L2 hierarchy, with [`machines`]
+//!   presets for the paper's Table 2 machines (Intel P4 Xeon,
+//!   AMD Opteron 250/850);
+//! * [`TrackedMatrix`] — a [`gep_core::CellStore`] wrapper that routes
+//!   every element access of any GEP engine through a shared simulated
+//!   cache, using any `gep-matrix` [`Layout`](gep_matrix::Layout) for the
+//!   address map.
+//!
+//! Running the *unchanged* engines of `gep-core` over tracked stores
+//! reproduces the paper's miss-count experiments (Figures 9 and 11).
+
+pub mod hierarchy;
+pub mod lru;
+pub mod machines;
+pub mod setassoc;
+pub mod tlb;
+pub mod tracked;
+
+pub use hierarchy::Hierarchy;
+pub use lru::IdealCache;
+pub use machines::{table2_machines, Machine};
+pub use setassoc::SetAssocCache;
+pub use tlb::Tlb;
+pub use tracked::{AddressSpace, SharedCache, TrackedMatrix};
+
+/// Hit/miss counters common to all cache models.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (block transfers from the next level).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]` (0 for an untouched cache).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A byte-addressed cache model.
+pub trait CacheModel {
+    /// Touches the block containing `addr`; returns `true` on hit.
+    fn access(&mut self, addr: u64) -> bool;
+
+    /// Counter snapshot.
+    fn stats(&self) -> CacheStats;
+
+    /// Resets contents and counters.
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_arithmetic() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The paper's Table 2 machines as simulator configurations.
+//!
+//! | Model | Processors | Speed | Peak GFLOPS | L1 | L2 | RAM |
+//! |---|---|---|---|---|---|---|
+//! | Intel P4 Xeon | 2 | 3.06 GHz | 6.12 | 8 KB 4-way B=64 | 512 KB 8-way B=64 | 4 GB |
+//! | AMD Opteron 250 | 2 | 2.4 GHz | 4.8 | 64 KB 2-way B=64 | 1 MB 8-way B=64 | 4 GB |
+//! | AMD Opteron 850 | 8 (4 dual-core) | 2.2 GHz | 4.4 | 64 KB 2-way B=64 | 1 MB 8-way B=64 | 32 GB |
+
+use crate::{Hierarchy, SetAssocCache};
+
+/// One row of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Machine {
+    /// Model name.
+    pub name: &'static str,
+    /// Processor count (cores).
+    pub processors: usize,
+    /// Clock speed in GHz.
+    pub ghz: f64,
+    /// Peak double-precision GFLOPS per processor (2 × clock).
+    pub peak_gflops: f64,
+    /// L1: (size bytes, ways, block bytes).
+    pub l1: (u64, usize, u64),
+    /// L2: (size bytes, ways, block bytes).
+    pub l2: (u64, usize, u64),
+    /// RAM in bytes.
+    pub ram: u64,
+}
+
+impl Machine {
+    /// Builds the machine's L1+L2 hierarchy simulator.
+    pub fn hierarchy(&self) -> Hierarchy {
+        Hierarchy::new(
+            SetAssocCache::new(self.l1.0, self.l1.1, self.l1.2),
+            SetAssocCache::new(self.l2.0, self.l2.1, self.l2.2),
+        )
+    }
+}
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+const GB: u64 = 1024 * 1024 * 1024;
+
+/// The three machines of Table 2.
+pub fn table2_machines() -> [Machine; 3] {
+    [
+        Machine {
+            name: "Intel P4 Xeon",
+            processors: 2,
+            ghz: 3.06,
+            peak_gflops: 6.12,
+            l1: (8 * KB, 4, 64),
+            l2: (512 * KB, 8, 64),
+            ram: 4 * GB,
+        },
+        Machine {
+            name: "AMD Opteron 250",
+            processors: 2,
+            ghz: 2.4,
+            peak_gflops: 4.8,
+            l1: (64 * KB, 2, 64),
+            l2: (MB, 8, 64),
+            ram: 4 * GB,
+        },
+        Machine {
+            name: "AMD Opteron 850",
+            processors: 8,
+            ghz: 2.2,
+            peak_gflops: 4.4,
+            l1: (64 * KB, 2, 64),
+            l2: (MB, 8, 64),
+            ram: 32 * GB,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_twice_clock() {
+        for m in table2_machines() {
+            assert!((m.peak_gflops - 2.0 * m.ghz).abs() < 1e-9, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn hierarchies_build_with_table2_geometry() {
+        let xeon = table2_machines()[0].hierarchy();
+        assert_eq!(xeon.l1.sets(), 8 * 1024 / 64 / 4);
+        assert_eq!(xeon.l1.ways(), 4);
+        assert_eq!(xeon.l2.ways(), 8);
+        let opteron = table2_machines()[1].hierarchy();
+        assert_eq!(opteron.l1.sets(), 64 * 1024 / 64 / 2);
+    }
+
+    #[test]
+    fn opterons_share_cache_geometry() {
+        let ms = table2_machines();
+        assert_eq!(ms[1].l1, ms[2].l1);
+        assert_eq!(ms[1].l2, ms[2].l2);
+        assert!(ms[2].processors > ms[1].processors);
+    }
+}

@@ -1,0 +1,156 @@
+//! Set-associative LRU cache, for modelling the Table 2 machines' real
+//! L1/L2 geometries.
+
+use crate::{CacheModel, CacheStats};
+
+/// Set-associative cache with LRU replacement within each set.
+#[derive(Debug)]
+pub struct SetAssocCache {
+    block_size: u64,
+    sets: usize,
+    ways: usize,
+    /// `sets × ways` entries: `(tag, last-use stamp)`; `u64::MAX` tag =
+    /// empty.
+    lines: Vec<(u64, u64)>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `size_bytes` total, `ways`-way associative with
+    /// blocks of `block_bytes`.
+    ///
+    /// # Panics
+    /// Panics unless the geometry divides evenly and the set count is a
+    /// power of two.
+    pub fn new(size_bytes: u64, ways: usize, block_bytes: u64) -> Self {
+        assert!(block_bytes > 0 && ways > 0);
+        let blocks = size_bytes / block_bytes;
+        assert_eq!(blocks as usize % ways, 0, "ways must divide block count");
+        let sets = blocks as usize / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            block_size: block_bytes,
+            sets,
+            ways,
+            lines: vec![(u64::MAX, 0); sets * ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+}
+
+impl CacheModel for SetAssocCache {
+    fn access(&mut self, addr: u64) -> bool {
+        let block = addr / self.block_size;
+        let set = (block as usize) & (self.sets - 1);
+        let tag = block >> self.sets.trailing_zeros();
+        self.clock += 1;
+        let base = set * self.ways;
+        let set_lines = &mut self.lines[base..base + self.ways];
+        if let Some(line) = set_lines.iter_mut().find(|l| l.0 == tag) {
+            line.1 = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        // Miss: fill an empty way or evict the set-local LRU.
+        let victim = set_lines
+            .iter_mut()
+            .min_by_key(|l| if l.0 == u64::MAX { 0 } else { l.1 })
+            .expect("ways > 0");
+        *victim = (tag, self.clock);
+        self.stats.misses += 1;
+        false
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.lines.fill((u64::MAX, 0));
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::IdealCache;
+
+    #[test]
+    fn geometry() {
+        // 8 KB, 4-way, 64 B blocks (the Xeon L1): 128 blocks, 32 sets.
+        let c = SetAssocCache::new(8 * 1024, 4, 64);
+        assert_eq!(c.sets(), 32);
+        assert_eq!(c.ways(), 4);
+    }
+
+    #[test]
+    fn single_set_equals_fully_associative() {
+        // ways == total blocks -> one set -> behaves exactly like LRU.
+        let mut sa = SetAssocCache::new(8 * 64, 8, 64);
+        let mut fa = IdealCache::new(8 * 64, 64);
+        let mut seed = 77u64;
+        for _ in 0..5000 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let addr = (seed % 24) * 64 + (seed % 13);
+            assert_eq!(sa.access(addr), fa.access(addr));
+        }
+        assert_eq!(sa.stats(), fa.stats());
+    }
+
+    #[test]
+    fn conflict_misses_within_one_set() {
+        // Direct-mapped (1-way): two blocks mapping to the same set evict
+        // each other even though the cache is mostly empty.
+        let mut c = SetAssocCache::new(4 * 64, 1, 64); // 4 sets, 1 way
+        let a = 0u64; // set 0
+        let b = 4 * 64; // also set 0
+        for _ in 0..10 {
+            c.access(a);
+            c.access(b);
+        }
+        assert_eq!(c.stats().hits, 0, "direct-mapped ping-pong never hits");
+        // The fully associative cache of the same size has no problem.
+        let mut fa = IdealCache::new(4 * 64, 64);
+        for _ in 0..10 {
+            fa.access(a);
+            fa.access(b);
+        }
+        assert_eq!(fa.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut c = SetAssocCache::new(2 * 64, 2, 64); // 1 set, 2 ways
+        c.access(0); // block 0
+        c.access(64); // block 1
+        c.access(0); // block 0 most recent
+        c.access(128); // evicts block 1
+        assert!(c.access(0));
+        assert!(!c.access(64));
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut c = SetAssocCache::new(8 * 1024, 4, 64);
+        c.access(1234);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.access(1234));
+    }
+}

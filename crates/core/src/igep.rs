@@ -1,0 +1,203 @@
+//! **I-GEP / F** — the in-place cache-oblivious recursion (Figure 2).
+//!
+//! `F(X, k1, k2)` takes an aligned subsquare `X = c[i1..i2, j1..j2]` with
+//! `|i-range| = |j-range| = |k-range| = 2^q`, splits `X` into quadrants and
+//! the `k`-range into halves, and recurses: a *forward pass* over all four
+//! quadrants with the first `k`-half, then a *backward pass* in reverse
+//! quadrant order with the second half. The recursion touches each update
+//! of `Σ` exactly once and orders the updates on any fixed cell by
+//! increasing `k` (Theorem 2.1); it is cache-oblivious with
+//! Θ(n³/(B√M)) I/Os on a tall cache.
+//!
+//! This module's engine is generic over [`CellStore`], which is what the
+//! cache-simulator and out-of-core experiments run. The raw-speed in-core
+//! variant (with the Figure 6 A/B/C/D specialisation) lives in
+//! [`crate::abcd`].
+
+use crate::iterative::gep_iterative_box;
+use crate::spec::GepSpec;
+use crate::store::CellStore;
+
+/// Runs I-GEP (Figure 2) on `c`.
+///
+/// `base_size` is the §4.2 optimisation: subproblems of side `<= base_size`
+/// are solved with the iterative kernel instead of recursing to single
+/// elements. `base_size = 1` is the literal Figure 2 algorithm; the paper
+/// found 64–128 fastest in-core. For specs on which I-GEP is exact
+/// (Gaussian elimination, LU, Floyd–Warshall, matrix multiplication, …) the
+/// result is independent of `base_size`.
+///
+/// # Panics
+/// Panics unless `c` is square with a power-of-two side, and
+/// `base_size >= 1`.
+pub fn igep<S, St>(spec: &S, c: &mut St, base_size: usize)
+where
+    S: GepSpec,
+    St: CellStore<S::Elem> + ?Sized,
+{
+    let n = c.n();
+    assert!(n.is_power_of_two(), "I-GEP needs a power-of-two side");
+    assert!(base_size >= 1);
+    f_rec(spec, c, 0, 0, 0, n, base_size);
+}
+
+/// The recursive `F` on an explicit box: rows `i0..i0+s`,
+/// cols `j0..j0+s`, update indices `k0..k0+s` (`s` a power of two).
+///
+/// Exposed so schedulers can drive the top levels of the recursion
+/// themselves — e.g. the Lemma 3.1(b) deterministic schedule, which pins
+/// each `(n/√p)`-sized subproblem to one processor's private cache.
+///
+/// # Panics
+/// Panics (in debug) on out-of-range boxes; the caller must pass boxes
+/// aligned the way `F` would produce them for the results to mean
+/// anything.
+pub fn igep_box<S, St>(spec: &S, c: &mut St, i0: usize, j0: usize, k0: usize, s: usize, base: usize)
+where
+    S: GepSpec,
+    St: CellStore<S::Elem> + ?Sized,
+{
+    f_rec(spec, c, i0, j0, k0, s, base)
+}
+
+/// The recursive `F`: operates on the box with rows `i0..i0+s`,
+/// cols `j0..j0+s`, update indices `k0..k0+s`.
+fn f_rec<S, St>(spec: &S, c: &mut St, i0: usize, j0: usize, k0: usize, s: usize, base: usize)
+where
+    S: GepSpec,
+    St: CellStore<S::Elem> + ?Sized,
+{
+    // Line 1: if T ∩ Σ = ∅ then return.
+    if !spec.sigma_intersects((i0, i0 + s - 1), (j0, j0 + s - 1), (k0, k0 + s - 1)) {
+        return;
+    }
+    if s <= base {
+        // Line 2 generalised: iterative kernel on the box (for s = 1 this
+        // is exactly the paper's base case).
+        gep_iterative_box(spec, c, (i0, i0 + s - 1), (j0, j0 + s - 1), (k0, k0 + s - 1));
+        return;
+    }
+    let h = s / 2;
+    // Line 5 — forward pass, k in the first half:
+    // F(X11), F(X12), F(X21), F(X22).
+    f_rec(spec, c, i0, j0, k0, h, base);
+    f_rec(spec, c, i0, j0 + h, k0, h, base);
+    f_rec(spec, c, i0 + h, j0, k0, h, base);
+    f_rec(spec, c, i0 + h, j0 + h, k0, h, base);
+    // Line 6 — backward pass, k in the second half:
+    // F(X22), F(X21), F(X12), F(X11).
+    f_rec(spec, c, i0 + h, j0 + h, k0 + h, h, base);
+    f_rec(spec, c, i0 + h, j0, k0 + h, h, base);
+    f_rec(spec, c, i0, j0 + h, k0 + h, h, base);
+    f_rec(spec, c, i0, j0, k0 + h, h, base);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative::gep_iterative;
+    use crate::spec::{ClosureSpec, ExplicitSet, SumSpec};
+    use gep_matrix::Matrix;
+
+    #[test]
+    fn paper_counterexample_value_for_f() {
+        // Section 2.2.1: F outputs c[1][0] = 8 where G outputs 2.
+        let mut c = Matrix::from_rows(&[vec![0i64, 0], vec![0, 1]]);
+        igep(&SumSpec, &mut c, 1);
+        assert_eq!(c[(1, 0)], 8);
+    }
+
+    /// Floyd–Warshall-style spec: min-plus over the full update set.
+    /// I-GEP is exact for this class, so F ≡ G for any input.
+    struct MinPlus;
+    impl GepSpec for MinPlus {
+        type Elem = i64;
+        fn update(&self, _: usize, _: usize, _: usize, x: i64, u: i64, v: i64, _w: i64) -> i64 {
+            x.min(u.saturating_add(v))
+        }
+        fn in_sigma(&self, _: usize, _: usize, _: usize) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn igep_equals_g_on_min_plus() {
+        for n in [1usize, 2, 4, 8, 16] {
+            let init = Matrix::from_fn(n, n, |i, j| {
+                if i == j {
+                    0i64
+                } else {
+                    ((i * 7 + j * 13) % 19 + 1) as i64
+                }
+            });
+            let mut g = init.clone();
+            let mut f = init.clone();
+            gep_iterative(&MinPlus, &mut g);
+            igep(&MinPlus, &mut f, 1);
+            assert_eq!(g, f, "n={n}");
+        }
+    }
+
+    #[test]
+    fn base_size_does_not_change_result_on_valid_spec() {
+        let n = 16;
+        let init = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                0i64
+            } else {
+                ((i * 31 + j * 17) % 23 + 1) as i64
+            }
+        });
+        let mut reference = init.clone();
+        igep(&MinPlus, &mut reference, 1);
+        for base in [2usize, 4, 8, 16] {
+            let mut c = init.clone();
+            igep(&MinPlus, &mut c, base);
+            assert_eq!(c, reference, "base={base}");
+        }
+    }
+
+    #[test]
+    fn pruning_skips_untouched_quadrants() {
+        // Σ confined to the top-left quadrant: bottom-right must not be read.
+        let sigma = ExplicitSet::from_iter(
+            (0..2).flat_map(|i| (0..2).flat_map(move |j| (0..2).map(move |k| (i, j, k)))),
+        );
+        let spec = ClosureSpec::new(|_, _, _, x: i64, u, v, w| x + u + v + w, sigma);
+        let init = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as i64);
+        let mut f = init.clone();
+        let mut g = init.clone();
+        igep(&spec, &mut f, 1);
+        gep_iterative(&spec, &mut g);
+        // Sub-box confined Σ with box side 2 is itself a complete 2x2 GEP;
+        // I-GEP on sub-GEP of SumSpec diverges from G in general, but the
+        // untouched quadrants must be identical to the input.
+        for i in 0..4 {
+            for j in 0..4 {
+                if i >= 2 || j >= 2 {
+                    assert_eq!(f[(i, j)], init[(i, j)]);
+                    assert_eq!(g[(i, j)], init[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn n1_single_cell() {
+        let spec = ClosureSpec::new(
+            |_, _, _, x: i64, u, v, w| x * 2 + u + v + w,
+            ExplicitSet::from_iter([(0, 0, 0)]),
+        );
+        let mut c = Matrix::from_rows(&[vec![3i64]]);
+        igep(&spec, &mut c, 1);
+        // x=u=v=w=3 -> 2*3 + 3 + 3 + 3 = 15.
+        assert_eq!(c[(0, 0)], 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_pow2() {
+        let mut c = Matrix::square(3, 0i64);
+        igep(&SumSpec, &mut c, 1);
+    }
+}

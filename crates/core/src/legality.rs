@@ -1,0 +1,162 @@
+//! Empirical I-GEP legality checking — the Section 2.3 compiler angle.
+//!
+//! The paper frames I-GEP/C-GEP as loop transformations: C-GEP is a legal
+//! transformation of *any* GEP loop nest, I-GEP only of some (the
+//! technical report gives sufficient conditions). An optimising compiler
+//! applying I-GEP therefore needs a legality check. This module provides
+//! the testing-based check the workspace itself uses: run I-GEP and the
+//! defining iterative loop side by side on randomised inputs and compare
+//! — with structured witnesses on divergence.
+//!
+//! Testing cannot *prove* legality (it is sound only for rejection), but
+//! combined with Theorem 2.2 it is sharper than it looks: I-GEP's operand
+//! states differ from G's in precisely characterised ways, so a divergence
+//! almost always manifests at small `n` with mixing update functions —
+//! the §2.2.1 counterexample already shows up at `n = 2`.
+
+use crate::igep::igep;
+use crate::iterative::gep_iterative;
+use crate::spec::GepSpec;
+use gep_matrix::Matrix;
+
+/// A divergence witness: the first input on which I-GEP and iterative GEP
+/// disagreed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Divergence<T> {
+    /// Matrix side of the failing instance.
+    pub n: usize,
+    /// The initial matrix.
+    pub input: Matrix<T>,
+    /// Iterative GEP's result (the paradigm's semantics).
+    pub expected: Matrix<T>,
+    /// I-GEP's result.
+    pub got: Matrix<T>,
+    /// First differing cell.
+    pub cell: (usize, usize),
+}
+
+/// Verdict of an empirical legality check.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Legality<T> {
+    /// No divergence found across the tested instances — I-GEP *appears*
+    /// legal for this spec (use C-GEP when a guarantee is required).
+    AppearsLegal {
+        /// Number of (n, input) instances exercised.
+        instances_tested: usize,
+    },
+    /// I-GEP provably diverges from the paradigm's semantics on this
+    /// spec: transformation rejected.
+    Illegal(Box<Divergence<T>>),
+}
+
+/// Checks I-GEP legality for `spec` empirically: for each side in `sizes`
+/// (powers of two) and `trials` random matrices drawn via `gen(n, trial,
+/// i, j)`, compares I-GEP with iterative GEP and reports the first
+/// divergence.
+pub fn check_igep_legality<S>(
+    spec: &S,
+    sizes: &[usize],
+    trials: usize,
+    mut gen: impl FnMut(usize, usize, usize, usize) -> S::Elem,
+) -> Legality<S::Elem>
+where
+    S: GepSpec,
+{
+    let mut tested = 0;
+    for &n in sizes {
+        assert!(n.is_power_of_two(), "sizes must be powers of two");
+        for t in 0..trials {
+            let input = Matrix::from_fn(n, n, |i, j| gen(n, t, i, j));
+            let mut expected = input.clone();
+            gep_iterative(spec, &mut expected);
+            let mut got = input.clone();
+            igep(spec, &mut got, 1);
+            tested += 1;
+            if got != expected {
+                let cell = (0..n)
+                    .flat_map(|i| (0..n).map(move |j| (i, j)))
+                    .find(|&(i, j)| got[(i, j)] != expected[(i, j)])
+                    .expect("matrices differ");
+                return Legality::Illegal(Box::new(Divergence {
+                    n,
+                    input,
+                    expected,
+                    got,
+                    cell,
+                }));
+            }
+        }
+    }
+    Legality::AppearsLegal {
+        instances_tested: tested,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SumSpec;
+
+    fn i64_gen(n: usize, t: usize, i: usize, j: usize) -> i64 {
+        let mut s = (n * 1_000_003 + t * 10_007 + i * 101 + j) as u64 | 1;
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % 200) as i64 - 100
+    }
+
+    #[test]
+    fn sum_spec_is_rejected_with_witness() {
+        match check_igep_legality(&SumSpec, &[2, 4], 5, i64_gen) {
+            Legality::Illegal(d) => {
+                assert!(d.n == 2 || d.n == 4);
+                let (i, j) = d.cell;
+                assert_ne!(d.got[(i, j)], d.expected[(i, j)]);
+            }
+            other => panic!("SumSpec must be rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_plus_appears_legal() {
+        struct MinPlus;
+        impl GepSpec for MinPlus {
+            type Elem = i64;
+            fn update(&self, _: usize, _: usize, _: usize, x: i64, u: i64, v: i64, _: i64) -> i64 {
+                x.min(u.saturating_add(v))
+            }
+            fn in_sigma(&self, _: usize, _: usize, _: usize) -> bool {
+                true
+            }
+        }
+        // Well-formed distance matrices: zero diagonal, non-negative
+        // weights (with arbitrary negative diagonals min-plus develops
+        // negative cycles, where even the iterative orderings disagree).
+        let fw_gen = |n: usize, t: usize, i: usize, j: usize| {
+            if i == j {
+                0
+            } else {
+                i64_gen(n, t, i, j).abs() + 1
+            }
+        };
+        match check_igep_legality(&MinPlus, &[2, 4, 8, 16], 8, fw_gen) {
+            Legality::AppearsLegal { instances_tested } => assert_eq!(instances_tested, 32),
+            Legality::Illegal(d) => panic!("min-plus must pass: {:?}", d.cell),
+        }
+    }
+
+    #[test]
+    fn sum_spec_witness_is_reproducible() {
+        // The returned witness re-diverges when replayed.
+        if let Legality::Illegal(d) = check_igep_legality(&SumSpec, &[2], 1, i64_gen) {
+            let mut again = d.input.clone();
+            igep(&SumSpec, &mut again, 1);
+            assert_eq!(again, d.got);
+            let mut g = d.input.clone();
+            gep_iterative(&SumSpec, &mut g);
+            assert_eq!(g, d.expected);
+        } else {
+            panic!("expected divergence");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The `CellStore` abstraction: where the matrix `c` lives.
+//!
+//! Every sequential engine in this crate is generic over a [`CellStore`],
+//! so one implementation of G / I-GEP / C-GEP serves three substrates:
+//!
+//! * in-core: [`gep_matrix::Matrix`] implements `CellStore` directly
+//!   (monomorphises to a plain array access);
+//! * cache simulation: `gep-cachesim` wraps a matrix so every access also
+//!   touches a simulated cache, reproducing the paper's Cachegrind-based
+//!   miss counts;
+//! * out-of-core: `gep-extmem` backs the matrix with a simulated disk and a
+//!   page cache, reproducing the paper's STXXL experiments.
+//!
+//! `read` takes `&mut self` because reads mutate simulator state
+//! (LRU recency, miss counters, page-ins).
+
+use gep_matrix::Matrix;
+
+/// A mutable `n x n` grid of cells addressed by `(row, col)`.
+pub trait CellStore<T: Copy> {
+    /// Side length of the (square) grid.
+    fn n(&self) -> usize;
+
+    /// Reads cell `(i, j)`.
+    fn read(&mut self, i: usize, j: usize) -> T;
+
+    /// Writes cell `(i, j)`.
+    fn write(&mut self, i: usize, j: usize, v: T);
+
+    /// Bulk-copies every cell of `src` into `self` (same side length).
+    ///
+    /// C-GEP initialises its four snapshot matrices to the input matrix
+    /// this way; the default routes through `read`/`write` so the cost is
+    /// visible to simulators, matching the paper charging initialisation to
+    /// the algorithm.
+    fn copy_from_store(&mut self, src: &mut dyn CellStore<T>) {
+        let n = self.n();
+        assert_eq!(n, src.n(), "store size mismatch");
+        for i in 0..n {
+            for j in 0..n {
+                let v = src.read(i, j);
+                self.write(i, j, v);
+            }
+        }
+    }
+}
+
+impl<T: Copy> CellStore<T> for Matrix<T> {
+    #[inline(always)]
+    fn n(&self) -> usize {
+        Matrix::n(self)
+    }
+    #[inline(always)]
+    fn read(&mut self, i: usize, j: usize) -> T {
+        self.get(i, j)
+    }
+    #[inline(always)]
+    fn write(&mut self, i: usize, j: usize, v: T) {
+        self.set(i, j, v)
+    }
+}
+
+/// A store wrapper that counts reads and writes.
+///
+/// Useful on its own for the paper's "I-GEP executes more instructions /
+/// C-GEP performs more writes" comparisons, and as the template for the
+/// simulator-backed stores in other crates.
+pub struct CountingStore<S> {
+    inner: S,
+    /// Number of `read` calls so far.
+    pub reads: u64,
+    /// Number of `write` calls so far.
+    pub writes: u64,
+}
+
+impl<S> CountingStore<S> {
+    /// Wraps a store with zeroed counters.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Unwraps, returning the inner store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Borrows the inner store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<T: Copy, S: CellStore<T>> CellStore<T> for CountingStore<S> {
+    #[inline]
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+    #[inline]
+    fn read(&mut self, i: usize, j: usize) -> T {
+        self.reads += 1;
+        self.inner.read(i, j)
+    }
+    #[inline]
+    fn write(&mut self, i: usize, j: usize, v: T) {
+        self.writes += 1;
+        self.inner.write(i, j, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_a_store() {
+        let mut m = Matrix::square(4, 0i32);
+        CellStore::write(&mut m, 1, 2, 7);
+        assert_eq!(CellStore::read(&mut m, 1, 2), 7);
+        assert_eq!(CellStore::n(&m), 4);
+    }
+
+    #[test]
+    fn counting_store_counts() {
+        let mut s = CountingStore::new(Matrix::square(2, 0u8));
+        s.write(0, 0, 1);
+        s.write(1, 1, 2);
+        let _ = s.read(0, 0);
+        assert_eq!((s.reads, s.writes), (1, 2));
+        assert_eq!(s.into_inner()[(1, 1)], 2);
+    }
+
+    #[test]
+    fn copy_from_store_copies_all() {
+        let mut src = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as i16);
+        let mut dst = CountingStore::new(Matrix::square(3, 0i16));
+        dst.copy_from_store(&mut src);
+        assert_eq!(dst.inner()[(2, 2)], 8);
+        assert_eq!(dst.writes, 9);
+    }
+}

@@ -1,0 +1,223 @@
+//! The simulated block device.
+
+use std::collections::HashMap;
+
+/// Timing model of a disk drive.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiskProfile {
+    /// Average positioning time charged for a non-sequential transfer, in
+    /// seconds.
+    pub avg_seek_s: f64,
+    /// Sustained transfer bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+}
+
+impl DiskProfile {
+    /// The paper's Fujitsu MAP3735NC (10K RPM): 4.5 ms average seek,
+    /// 64.1–107.86 MB/s sustained transfer (we use the mid-range).
+    pub fn fujitsu_map3735nc() -> Self {
+        Self {
+            avg_seek_s: 4.5e-3,
+            bandwidth_bps: 85.0e6,
+        }
+    }
+}
+
+/// I/O counters of a [`SimDisk`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IoStats {
+    /// Blocks read from the device.
+    pub block_reads: u64,
+    /// Blocks written to the device.
+    pub block_writes: u64,
+    /// Transfers that required a seek (non-sequential).
+    pub seeks: u64,
+    /// Bytes transferred in either direction.
+    pub bytes: u64,
+    /// Modelled cumulative I/O wait in seconds.
+    pub wait_s: f64,
+}
+
+impl IoStats {
+    /// Total block transfers (the paper's I/O count).
+    pub fn transfers(&self) -> u64 {
+        self.block_reads + self.block_writes
+    }
+}
+
+/// A sparse simulated block device storing blocks of `block_elems`
+/// elements (`block_bytes = block_elems · size_of::<T>()` for timing).
+///
+/// Unwritten blocks read as `T::default()` without charging a transfer
+/// (the simulation's analogue of a freshly formatted file: STXXL likewise
+/// does not read uninitialised pages).
+pub struct SimDisk<T = u8> {
+    block_elems: usize,
+    block_bytes: u64,
+    profile: DiskProfile,
+    blocks: HashMap<u64, Box<[T]>>,
+    stats: IoStats,
+    last_block: Option<u64>,
+}
+
+impl<T: Copy + Default> SimDisk<T> {
+    /// Creates a device with blocks of `block_bytes` bytes.
+    ///
+    /// # Panics
+    /// Panics unless `block_bytes` is a positive multiple of
+    /// `size_of::<T>()`.
+    pub fn new(block_bytes: u64, profile: DiskProfile) -> Self {
+        let elem = std::mem::size_of::<T>() as u64;
+        assert!(block_bytes > 0 && elem > 0 && block_bytes % elem == 0);
+        Self {
+            block_elems: (block_bytes / elem) as usize,
+            block_bytes,
+            profile,
+            blocks: HashMap::new(),
+            stats: IoStats::default(),
+            last_block: None,
+        }
+    }
+
+    /// Block size in bytes (the timing unit).
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Elements per block.
+    pub fn block_elems(&self) -> usize {
+        self.block_elems
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Number of materialised (ever written) blocks.
+    pub fn allocated_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn charge(&mut self, block: u64) {
+        let sequential =
+            self.last_block == Some(block.wrapping_sub(1)) || self.last_block == Some(block);
+        if !sequential {
+            self.stats.seeks += 1;
+            self.stats.wait_s += self.profile.avg_seek_s;
+        }
+        self.stats.bytes += self.block_bytes;
+        self.stats.wait_s += self.block_bytes as f64 / self.profile.bandwidth_bps;
+        self.last_block = Some(block);
+    }
+
+    /// Reads block `id` into a fresh buffer (`T::default()` if never
+    /// written, which charges no transfer).
+    pub fn read_block(&mut self, id: u64) -> Box<[T]> {
+        match self.blocks.get(&id) {
+            Some(data) => {
+                let out = data.clone();
+                self.stats.block_reads += 1;
+                self.charge(id);
+                out
+            }
+            None => vec![T::default(); self.block_elems].into_boxed_slice(),
+        }
+    }
+
+    /// Writes block `id`.
+    ///
+    /// # Panics
+    /// Panics if `data` is not exactly one block.
+    pub fn write_block(&mut self, id: u64, data: &[T]) {
+        assert_eq!(data.len(), self.block_elems);
+        self.stats.block_writes += 1;
+        self.charge(id);
+        self.blocks.insert(id, data.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> SimDisk<u8> {
+        SimDisk::new(4096, DiskProfile::fujitsu_map3735nc())
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut d = disk();
+        let mut buf = vec![0u8; 4096];
+        buf[17] = 0xAB;
+        d.write_block(5, &buf);
+        let back = d.read_block(5);
+        assert_eq!(back[17], 0xAB);
+        assert_eq!(back[16], 0);
+    }
+
+    #[test]
+    fn typed_blocks() {
+        let mut d: SimDisk<f64> = SimDisk::new(4096, DiskProfile::fujitsu_map3735nc());
+        assert_eq!(d.block_elems(), 512);
+        let mut buf = vec![0.0f64; 512];
+        buf[3] = 2.5;
+        d.write_block(1, &buf);
+        assert_eq!(d.read_block(1)[3], 2.5);
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero_for_free() {
+        let mut d = disk();
+        let b = d.read_block(99);
+        assert!(b.iter().all(|&x| x == 0));
+        assert_eq!(d.stats().transfers(), 0);
+        assert_eq!(d.stats().wait_s, 0.0);
+    }
+
+    #[test]
+    fn sequential_writes_seek_once() {
+        let mut d = disk();
+        let buf = vec![1u8; 4096];
+        for id in 10..20 {
+            d.write_block(id, &buf);
+        }
+        assert_eq!(d.stats().seeks, 1, "only the first transfer seeks");
+        assert_eq!(d.stats().block_writes, 10);
+    }
+
+    #[test]
+    fn random_writes_seek_every_time() {
+        let mut d = disk();
+        let buf = vec![1u8; 4096];
+        for id in [5u64, 100, 3, 77, 42] {
+            d.write_block(id, &buf);
+        }
+        assert_eq!(d.stats().seeks, 5);
+    }
+
+    #[test]
+    fn wait_time_model() {
+        let mut d: SimDisk<u8> = SimDisk::new(
+            1_000_000,
+            DiskProfile {
+                avg_seek_s: 0.01,
+                bandwidth_bps: 100.0e6,
+            },
+        );
+        let buf = vec![0u8; 1_000_000];
+        d.write_block(0, &buf); // seek 0.01 + 1e6/1e8 = 0.01 s transfer
+        let s = d.stats();
+        assert!((s.wait_s - 0.02).abs() < 1e-9, "wait = {}", s.wait_s);
+    }
+
+    #[test]
+    fn rewrite_same_block_counts_as_sequential() {
+        let mut d = disk();
+        let buf = vec![2u8; 4096];
+        d.write_block(7, &buf);
+        d.write_block(7, &buf);
+        assert_eq!(d.stats().seeks, 1);
+        assert_eq!(d.stats().block_writes, 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! # gep-extmem — simulated external memory (the STXXL substitute)
+//!
+//! The paper's out-of-core experiments (Figure 7) run GEP / I-GEP / C-GEP
+//! over the STXXL library, which keeps a fully associative page cache of
+//! configurable size `M` and block size `B` in RAM over a fast SCSI disk
+//! (Fujitsu MAP3735NC: 10K RPM, 4.5 ms average seek, 64–107 MB/s
+//! transfer), with DIRECT-I/O so the OS page cache is bypassed.
+//!
+//! This crate rebuilds that stack as a deterministic simulation:
+//!
+//! * [`SimDisk`] — a sparse block device with the Fujitsu drive's timing
+//!   model: each transfer costs `B / bandwidth`, plus an average seek
+//!   unless it continues the previous transfer sequentially;
+//! * [`ExtArena`] — a fully associative LRU **page cache** of `M` bytes
+//!   over the disk with dirty-block write-back (the STXXL cache);
+//! * [`ExtMatrix`] — an `n × n` matrix living in the arena, implementing
+//!   [`gep_core::CellStore`] so every unchanged GEP engine runs
+//!   out-of-core. Several matrices (e.g. C-GEP's snapshots) share one
+//!   arena, exactly as they would share the STXXL cache.
+//!
+//! The harness reads back [`IoStats`]: block transfers, bytes, and the
+//! modelled *I/O wait time* that Figure 7 plots.
+
+pub mod arena;
+pub mod disk;
+pub mod matrix;
+
+pub use arena::ExtArena;
+pub use disk::{DiskProfile, IoStats, SimDisk};
+pub use matrix::{ExtMatrix, SharedArena};

@@ -1,0 +1,78 @@
+//! # gep-matrix
+//!
+//! Dense matrix storage, views, and cache-friendly layouts used throughout
+//! the GEP (Gaussian Elimination Paradigm) workspace.
+//!
+//! The crate provides:
+//!
+//! * [`Matrix`] — an owned, row-major dense matrix.
+//! * [`MatView`] / [`MatViewMut`] — borrowed rectangular windows with an
+//!   explicit row stride, including quadrant splitting for the recursive
+//!   cache-oblivious algorithms.
+//! * [`morton`] — bit-interleaving (Z-order) index arithmetic.
+//! * [`TiledMatrix`] — the *bit-interleaved block layout* of the paper's
+//!   Section 4.2: fixed-size square tiles stored contiguously in row-major
+//!   order internally, with tiles arranged along the Z-order curve. This is
+//!   the TLB-friendly layout the paper converts to and from (and charges the
+//!   conversion cost to the measured running time, as we do in `gep-bench`).
+//! * [`layout`] — address maps `(i, j) -> linear address` for the cache
+//!   simulator, covering row-major, column-major and Morton-tiled layouts.
+//!
+//! All square-matrix routines in the workspace assume power-of-two sides at
+//! the recursion level (the paper's `n = 2^q` convention); [`Matrix::padded`]
+//! and [`next_pow2`] help embed arbitrary sizes.
+
+pub mod dense;
+pub mod layout;
+pub mod morton;
+pub mod tiled;
+pub mod view;
+
+pub use dense::Matrix;
+pub use layout::{ColMajor, Layout, MortonTiled, RowMajor};
+pub use tiled::TiledMatrix;
+pub use view::{MatView, MatViewMut};
+
+/// Smallest power of two `>= n` (and `>= 1`).
+///
+/// The recursive GEP algorithms assume `n = 2^q`; arbitrary problem sizes are
+/// embedded into the next power of two (see [`Matrix::padded`]).
+///
+/// # Panics
+/// Panics if the result would overflow `usize`.
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// True if `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pow2_basics() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+
+    #[test]
+    fn is_pow2_basics() {
+        assert!(!is_pow2(0));
+        assert!(is_pow2(1));
+        assert!(is_pow2(2));
+        assert!(!is_pow2(3));
+        assert!(is_pow2(64));
+        assert!(!is_pow2(65));
+    }
+}

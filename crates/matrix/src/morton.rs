@@ -1,0 +1,101 @@
+//! Bit-interleaving (Z-order / Morton) index arithmetic.
+//!
+//! The paper's Section 4.2 arranges base-case blocks in a *bit-interleaved
+//! layout* to reduce TLB misses: block `(bi, bj)` is stored at linear block
+//! index `interleave(bi, bj)`, which places blocks that are close in 2-D
+//! close in memory at every scale — exactly mirroring the recursion tree of
+//! I-GEP.
+
+/// Spreads the low 32 bits of `x` so bit `k` moves to bit `2k`.
+#[inline]
+pub fn spread_bits(x: u32) -> u64 {
+    let mut x = x as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`spread_bits`]: compacts every other bit (even positions).
+#[inline]
+pub fn compact_bits(x: u64) -> u32 {
+    let mut x = x & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Morton code of `(row, col)`: row bits land in odd positions, column bits
+/// in even positions, so the curve sweeps `(0,0), (0,1), (1,0), (1,1), ...`
+/// (row-major within each 2x2, recursively).
+#[inline]
+pub fn interleave(row: u32, col: u32) -> u64 {
+    (spread_bits(row) << 1) | spread_bits(col)
+}
+
+/// Inverse of [`interleave`]: Morton code back to `(row, col)`.
+#[inline]
+pub fn deinterleave(z: u64) -> (u32, u32) {
+    (compact_bits(z >> 1), compact_bits(z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_codes_follow_z_curve() {
+        // 2x2: (0,0)=0 (0,1)=1 (1,0)=2 (1,1)=3
+        assert_eq!(interleave(0, 0), 0);
+        assert_eq!(interleave(0, 1), 1);
+        assert_eq!(interleave(1, 0), 2);
+        assert_eq!(interleave(1, 1), 3);
+        // next scale: (0,2)=4, (2,0)=8, (2,2)=12, (3,3)=15
+        assert_eq!(interleave(0, 2), 4);
+        assert_eq!(interleave(2, 0), 8);
+        assert_eq!(interleave(2, 2), 12);
+        assert_eq!(interleave(3, 3), 15);
+    }
+
+    #[test]
+    fn codes_are_a_bijection_on_a_grid() {
+        let mut seen = vec![false; 64 * 64];
+        for r in 0..64u32 {
+            for c in 0..64u32 {
+                let z = interleave(r, c) as usize;
+                assert!(z < 64 * 64);
+                assert!(!seen[z], "collision at ({r},{c})");
+                seen[z] = true;
+                assert_eq!(deinterleave(z as u64), (r, c));
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn spread_compact_roundtrip() {
+        for x in [0u32, 1, 2, 3, 255, 256, 0xFFFF, 0xDEAD_BEEF, u32::MAX] {
+            assert_eq!(compact_bits(spread_bits(x)), x);
+        }
+    }
+
+    #[test]
+    fn quadrant_locality() {
+        // All codes of the top-left 4x4 quadrant of an 8x8 grid precede all
+        // codes of the bottom-right quadrant.
+        let tl_max = (0..4)
+            .flat_map(|r| (0..4).map(move |c| interleave(r, c)))
+            .max()
+            .unwrap();
+        let br_min = (4..8)
+            .flat_map(|r| (4..8).map(move |c| interleave(r, c)))
+            .min()
+            .unwrap();
+        assert!(tl_max < br_min);
+    }
+}

@@ -1,0 +1,195 @@
+//! Analytic work/span accounting for multithreaded I-GEP
+//! (the Section 3 recurrences, evaluated exactly).
+//!
+//! The paper derives, for the Figure 6 schedule with unbounded processors
+//! (`T∞`, unit = one base-case update or one constant recursion step):
+//!
+//! ```text
+//! T_A(n) ≤ 2·(T_A(n/2) + max(T_B, T_C)(n/2) + T_D(n/2)) + 8
+//! T_B(n) ≤ 2·(T_B(n/2) + T_D(n/2)) + 8
+//! T_C(n) ≤ 2·(T_C(n/2) + T_D(n/2)) + 8
+//! T_D(n) ≤ 2·T_D(n/2) + 8
+//! ```
+//!
+//! giving `T∞ = O(n log² n)`; the naive 2-way schedule satisfies
+//! `T(n) = 6·T(n/2) + O(1) = Θ(n^{log₂ 6})`; matrix multiplication's
+//! `D`-only recursion gives `T(n) = 2·T(n/2) + O(1) = Θ(n)`. This module
+//! evaluates the recurrences exactly so the bench harness (and the tests)
+//! can exhibit the separations numerically.
+
+/// Exact span values of the four Figure 6 function kinds at side `n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Spans {
+    /// `T_A(n)` — the full I-GEP span.
+    pub a: u128,
+    /// `T_B(n)`.
+    pub b: u128,
+    /// `T_C(n)`.
+    pub c: u128,
+    /// `T_D(n)`.
+    pub d: u128,
+}
+
+/// Evaluates the Section 3 span recurrences exactly (base `T(1) = 1`).
+///
+/// # Panics
+/// Panics unless `n` is a power of two.
+pub fn spans(n: usize) -> Spans {
+    assert!(n.is_power_of_two());
+    let mut s = Spans {
+        a: 1,
+        b: 1,
+        c: 1,
+        d: 1,
+    };
+    let mut side = 1usize;
+    while side < n {
+        side *= 2;
+        s = Spans {
+            a: 2 * (s.a + s.b.max(s.c) + s.d) + 8,
+            b: 2 * (s.b + s.d) + 8,
+            c: 2 * (s.c + s.d) + 8,
+            d: 2 * s.d + 8,
+        };
+    }
+    s
+}
+
+/// Span of the full Figure 6 schedule: `T_A(n) = Θ(n log² n)`.
+pub fn span_full(n: usize) -> u128 {
+    spans(n).a
+}
+
+/// Span of the naive 2-way schedule: `Θ(n^{log₂ 6})`.
+///
+/// Forward pass: `F₁₁ ; (F₁₂ ∥ F₂₁) ; F₂₂` = 3 sequential stages, same for
+/// the backward pass ⇒ `T(n) = 6·T(n/2) + 8`.
+pub fn span_simple(n: usize) -> u128 {
+    assert!(n.is_power_of_two());
+    let mut t = 1u128;
+    let mut side = 1usize;
+    while side < n {
+        side *= 2;
+        t = 6 * t + 8;
+    }
+    t
+}
+
+/// Span of the `D`-only matrix-multiplication recursion: `Θ(n)`.
+pub fn span_mm(n: usize) -> u128 {
+    assert!(n.is_power_of_two());
+    let mut t = 1u128;
+    let mut side = 1usize;
+    while side < n {
+        side *= 2;
+        t = 2 * t + 8;
+    }
+    t
+}
+
+/// Total work `T₁` of I-GEP on the full update set: `n³` updates plus the
+/// recursion nodes (counted at 8 units each, matching the span unit).
+pub fn work_full_sigma(n: usize) -> u128 {
+    assert!(n.is_power_of_two());
+    let n = n as u128;
+    // Recursion nodes: one per (i-quadrant, j-quadrant, k-half) box at
+    // every scale: 8 children per node => (8^levels - 1) / 7 internal
+    // boxes.
+    let levels = n.trailing_zeros();
+    let internal = (8u128.pow(levels) - 1) / 7;
+    n * n * n + 8 * internal
+}
+
+/// Predicted parallel time `T_p = T₁/p + T∞` (the Brent/greedy bound the
+/// paper's Theorem 3.1 instantiates).
+pub fn predicted_tp(n: usize, p: usize) -> u128 {
+    work_full_sigma(n) / p as u128 + span_full(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_cases() {
+        let s = spans(1);
+        assert_eq!(s, Spans { a: 1, b: 1, c: 1, d: 1 });
+        assert_eq!(span_simple(1), 1);
+        assert_eq!(span_mm(1), 1);
+    }
+
+    #[test]
+    fn n2_hand_computed() {
+        // T_D(2) = 2*1 + 8 = 10; T_B = T_C = 2*(1+1)+8 = 12;
+        // T_A = 2*(1 + 1 + 1) + 8 = 14.
+        let s = spans(2);
+        assert_eq!(s.d, 10);
+        assert_eq!(s.b, 12);
+        assert_eq!(s.c, 12);
+        assert_eq!(s.a, 14);
+    }
+
+    #[test]
+    fn d_is_linear() {
+        // T_D(n) = 2T_D(n/2) + 8 -> 9n - 8.
+        for q in 0..20 {
+            let n = 1usize << q;
+            assert_eq!(spans(n).d, 9 * n as u128 - 8);
+        }
+    }
+
+    #[test]
+    fn full_span_is_n_log2_scaled() {
+        // Sandwich T_A(n) between c1·n·log²n and c2·n·log²n for large n.
+        for q in 4..24u32 {
+            let n = 1usize << q;
+            let t = span_full(n);
+            let nl2 = n as u128 * (q as u128) * (q as u128);
+            assert!(t >= nl2, "lower: n={n} t={t} nlog2={nl2}");
+            assert!(t <= 20 * nl2, "upper: n={n} t={t} nlog2={nl2}");
+        }
+    }
+
+    #[test]
+    fn simple_schedule_is_polynomially_worse() {
+        // n^{log2 6} ≈ n^2.585 dominates n log² n.
+        let n = 1 << 12;
+        assert!(span_simple(n) > 100 * span_full(n));
+        // Exact closed form: T(n) = 6^q + 8*(6^q - 1)/5.
+        let q = 12u32;
+        let pow = 6u128.pow(q);
+        assert_eq!(span_simple(n), pow + 8 * (pow - 1) / 5);
+    }
+
+    #[test]
+    fn mm_span_is_linear_and_best() {
+        for q in 1..20u32 {
+            let n = 1usize << q;
+            assert_eq!(span_mm(n), 9 * n as u128 - 8);
+            assert!(span_mm(n) < span_full(n));
+        }
+    }
+
+    #[test]
+    fn ordering_a_ge_b_ge_d() {
+        for q in 0..16u32 {
+            let s = spans(1 << q);
+            assert!(s.a >= s.b);
+            assert_eq!(s.b, s.c);
+            assert!(s.b >= s.d);
+        }
+    }
+
+    #[test]
+    fn work_dominates_span_and_tp_decreases_in_p() {
+        let n = 1 << 10;
+        assert!(work_full_sigma(n) > span_full(n));
+        let t1 = predicted_tp(n, 1);
+        let t4 = predicted_tp(n, 4);
+        let t8 = predicted_tp(n, 8);
+        assert!(t1 > t4 && t4 > t8);
+        // Near-linear speedup while work dominates.
+        let speedup8 = t1 as f64 / t8 as f64;
+        assert!(speedup8 > 6.0, "speedup8 = {speedup8}");
+    }
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+set -u
+cd /root/repo
+echo "start: $(date)" > /root/repo/finalize.log
+cargo run -p gep-bench --release --bin repro -- all 2>&1 | grep -v WARNING > /root/repo/repro_output.txt
+echo "REPRO_DONE rc=$? $(date)" >> /root/repo/finalize.log
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt >/dev/null
+echo "TEST_DONE rc=$? $(date)" >> /root/repo/finalize.log
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt >/dev/null
+echo "BENCH_DONE rc=$? $(date)" >> /root/repo/finalize.log
+echo "ALL_DONE $(date)" >> /root/repo/finalize.log

@@ -1,0 +1,169 @@
+//! The engine × application matrix: every application spec run through
+//! every engine, compared against iterative GEP (the defining semantics),
+//! across sizes and base cases.
+
+use gep::apps::{FwSpec, GaussianSpec, LuSpec, TransitiveClosureSpec};
+use gep::core::{cgep_full, cgep_reduced, gep_iterative, igep, igep_opt, GepSpec};
+use gep::matrix::Matrix;
+use gep::parallel::{igep_parallel, igep_parallel_simple, with_threads};
+
+/// Runs one spec through all engines on one input; panics with a labelled
+/// message on the first divergence. `exact` controls bitwise vs approx
+/// comparison (f64 path sums may associate differently across engines).
+fn check_all_engines<S>(spec: &S, input: &Matrix<S::Elem>, label: &str)
+where
+    S: GepSpec + Sync,
+    S::Elem: PartialEq + std::fmt::Debug,
+{
+    let mut oracle = input.clone();
+    gep_iterative(spec, &mut oracle);
+
+    for base in [1usize, 2, 8] {
+        let mut m = input.clone();
+        igep(spec, &mut m, base);
+        assert_eq!(m, oracle, "{label}: igep base={base}");
+
+        let mut m = input.clone();
+        igep_opt(spec, &mut m, base);
+        assert_eq!(m, oracle, "{label}: igep_opt base={base}");
+
+        let mut m = input.clone();
+        cgep_full(spec, &mut m, base);
+        assert_eq!(m, oracle, "{label}: cgep_full base={base}");
+
+        let mut m = input.clone();
+        cgep_reduced(spec, &mut m, base);
+        assert_eq!(m, oracle, "{label}: cgep_reduced base={base}");
+    }
+
+    let mut m = input.clone();
+    with_threads(3, || igep_parallel(spec, &mut m, 8));
+    assert_eq!(m, oracle, "{label}: igep_parallel");
+
+    let mut m = input.clone();
+    with_threads(3, || igep_parallel_simple(spec, &mut m, 8));
+    assert_eq!(m, oracle, "{label}: igep_parallel_simple");
+}
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+#[test]
+fn floyd_warshall_all_engines() {
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let mut rng = xorshift(n as u64 * 1001);
+        let input = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                0i64
+            } else if rng() % 5 == 0 {
+                i64::MAX / 4
+            } else {
+                (rng() % 90) as i64 + 1
+            }
+        });
+        check_all_engines(&FwSpec::<i64>::new(), &input, &format!("FW n={n}"));
+    }
+}
+
+#[test]
+fn transitive_closure_all_engines() {
+    for n in [2usize, 8, 32] {
+        let mut rng = xorshift(n as u64 * 77);
+        let input = Matrix::from_fn(n, n, |i, j| i == j || rng() % 4 == 0);
+        check_all_engines(&TransitiveClosureSpec, &input, &format!("TC n={n}"));
+    }
+}
+
+/// f64 engines compared with tolerance (division orders coincide here, so
+/// bitwise equality actually holds for GE/LU across our engines — but we
+/// keep the assertion on values to document the guarantee we rely on).
+fn check_all_engines_f64<S>(spec: &S, input: &Matrix<f64>, label: &str)
+where
+    S: GepSpec<Elem = f64> + Sync,
+{
+    let mut oracle = input.clone();
+    gep_iterative(spec, &mut oracle);
+    for base in [1usize, 4, 16] {
+        for (name, m) in [
+            ("igep", {
+                let mut m = input.clone();
+                igep(spec, &mut m, base);
+                m
+            }),
+            ("igep_opt", {
+                let mut m = input.clone();
+                igep_opt(spec, &mut m, base);
+                m
+            }),
+            ("cgep_full", {
+                let mut m = input.clone();
+                cgep_full(spec, &mut m, base);
+                m
+            }),
+            ("cgep_reduced", {
+                let mut m = input.clone();
+                cgep_reduced(spec, &mut m, base);
+                m
+            }),
+        ] {
+            assert!(
+                m.approx_eq(&oracle, 1e-9),
+                "{label}: {name} base={base}, err={}",
+                m.max_abs_diff(&oracle)
+            );
+        }
+    }
+    let mut m = input.clone();
+    with_threads(2, || igep_parallel(spec, &mut m, 8));
+    assert!(m.approx_eq(&oracle, 1e-9), "{label}: parallel");
+}
+
+#[test]
+fn gaussian_all_engines() {
+    for n in [2usize, 8, 32] {
+        let mut rng = xorshift(n as u64 * 31);
+        let mut input = Matrix::from_fn(n, n, |_, _| (rng() % 1000) as f64 / 1000.0 - 0.5);
+        for i in 0..n {
+            input[(i, i)] = n as f64 + 2.0;
+        }
+        check_all_engines_f64(&GaussianSpec, &input, &format!("GE n={n}"));
+    }
+}
+
+#[test]
+fn lu_all_engines() {
+    for n in [2usize, 8, 32] {
+        let mut rng = xorshift(n as u64 * 53);
+        let mut input = Matrix::from_fn(n, n, |_, _| (rng() % 1000) as f64 / 500.0 - 1.0);
+        for i in 0..n {
+            input[(i, i)] = 2.0 * n as f64 + 1.0;
+        }
+        check_all_engines_f64(&LuSpec, &input, &format!("LU n={n}"));
+    }
+}
+
+/// The matmul embedding through every engine (I-GEP is exact for it).
+#[test]
+fn matmul_embedding_all_engines() {
+    use gep::apps::matmul::MatMulEmbedSpec;
+    for n in [2usize, 4, 8, 16] {
+        let mut rng = xorshift(n as u64 * 97);
+        let a = Matrix::from_fn(n, n, |_, _| (rng() % 100) as f64 / 50.0 - 1.0);
+        let b = Matrix::from_fn(n, n, |_, _| (rng() % 100) as f64 / 50.0 - 1.0);
+        let m = 2 * n;
+        let emb = Matrix::from_fn(m, m, |i, j| match (i < n, j < n) {
+            (true, true) => 0.0,
+            (true, false) => b[(i, j - n)],
+            (false, true) => a[(i - n, j)],
+            (false, false) => 0.0,
+        });
+        check_all_engines_f64(&MatMulEmbedSpec { n }, &emb, &format!("MM-embed n={n}"));
+    }
+}
