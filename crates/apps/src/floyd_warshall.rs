@@ -83,7 +83,7 @@ impl<W: Weight> GepSpec for FwSpec<W> {
 
     #[inline(always)]
     fn tau(&self, n: usize, _i: usize, _j: usize, l: i64) -> Option<usize> {
-        (l >= 0).then(|| (l as usize).min(n - 1))
+        (l >= 0 && n > 0).then(|| (l as usize).min(n - 1))
     }
 
     /// Vectorisable min-plus tile kernel: for each `(k, i)` the inner loop
@@ -167,7 +167,7 @@ impl GepSpec for FwPathSpec {
 
     #[inline(always)]
     fn tau(&self, n: usize, _i: usize, _j: usize, l: i64) -> Option<usize> {
-        (l >= 0).then(|| (l as usize).min(n - 1))
+        (l >= 0 && n > 0).then(|| (l as usize).min(n - 1))
     }
 }
 

@@ -27,7 +27,7 @@ impl GepSpec for TransitiveClosureSpec {
 
     #[inline(always)]
     fn tau(&self, n: usize, _i: usize, _j: usize, l: i64) -> Option<usize> {
-        (l >= 0).then(|| (l as usize).min(n - 1))
+        (l >= 0 && n > 0).then(|| (l as usize).min(n - 1))
     }
 
     /// Row-sweep kernel: skips the inner loop entirely when `u` is false.

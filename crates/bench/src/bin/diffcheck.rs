@@ -1,0 +1,193 @@
+//! Cross-engine divergence localization CLI.
+//!
+//! ```text
+//! cargo run -p gep-bench --release --bin diffcheck              # = all
+//! cargo run -p gep-bench --release --bin diffcheck -- regression
+//! cargo run -p gep-bench --release --bin diffcheck -- demo
+//! cargo run -p gep-bench --release --bin diffcheck -- fuzz 5000
+//! ```
+//!
+//! * `regression` — replays the shrunk instance recorded in
+//!   `tests/properties.proptest-regressions` for `cgep_is_fully_general`
+//!   through all eight engines and prints each verdict. The fully general
+//!   engines (C-GEP family) must match G exactly; I-GEP divergence on this
+//!   arbitrary Σ is expected (paper §2.2.1) and printed as such.
+//! * `demo` — runs the deliberately broken `cgep_full_buggy` (the
+//!   historical wrong `w`-read Iverson bracket) on the same instance,
+//!   prints the localized first divergent update with operand/slot/τ
+//!   diagnosis, then delta-minimizes the instance and reports the shrunk
+//!   witness.
+//! * `fuzz [trials]` — random general-Σ instances through all eight
+//!   engines; any divergence of a fully general engine is localized and
+//!   reported (exit code 1).
+
+use gep::verify::{
+    all_engines, buggy_engine, diff_engine, minimize, recorded_regression, AffineInstance,
+};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, m: u64) -> u64 {
+        self.next() % m
+    }
+}
+
+fn check_instance(inst: &AffineInstance, label: &str, bases: &[usize]) -> bool {
+    let spec = inst.spec();
+    let init = inst.init();
+    let mut ok = true;
+    for base in bases {
+        for engine in all_engines() {
+            let rep = diff_engine(&spec, &init, &engine, *base);
+            if rep.is_violation() {
+                ok = false;
+                println!("[{label}] base {base}: VIOLATION\n{rep}");
+            } else if rep.matches() {
+                println!("[{label}] base {base}: {rep}");
+            } else {
+                println!(
+                    "[{label}] base {base}: {}: trace diverges from G \
+                     ({}) — expected, not fully general (paper §2.2.1)",
+                    engine.name,
+                    if rep.result_matches {
+                        "final result agrees"
+                    } else {
+                        "final result differs"
+                    }
+                );
+            }
+        }
+    }
+    ok
+}
+
+fn regression() -> bool {
+    let inst = recorded_regression();
+    println!("replaying recorded cgep_is_fully_general regression instance:");
+    println!("{inst}\n");
+    let ok = check_instance(&inst, "regression", &[1, 2, 8]);
+    println!(
+        "\nregression replay: {}",
+        if ok {
+            "all fully general engines match G"
+        } else {
+            "VIOLATIONS FOUND"
+        }
+    );
+    ok
+}
+
+fn demo() {
+    let inst = recorded_regression();
+    println!("demo: C-GEP with the wrong w-read bracket (`i >= k` instead of");
+    println!("`i > k || (i == k && j > k)`) on the recorded regression instance.\n");
+    let rep = diff_engine(&inst.spec(), &inst.init(), &buggy_engine(), 1);
+    assert!(
+        rep.is_violation(),
+        "the planted bug must diverge on the recorded instance"
+    );
+    println!("localization:\n{rep}\n");
+
+    println!("delta-minimizing (Σ ddmin + index compaction + n-halving + value zeroing)…");
+    let fails = |cand: &AffineInstance| {
+        diff_engine(&cand.spec(), &cand.init(), &buggy_engine(), 1).is_violation()
+    };
+    let min = minimize(&inst, &fails);
+    println!("minimized witness:\n{min}\n");
+    let rep = diff_engine(&min.spec(), &min.init(), &buggy_engine(), 1);
+    println!("localization on the minimized witness:\n{rep}");
+}
+
+fn fuzz(trials: u64) -> bool {
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+    let mut ok = true;
+    for trial in 0..trials {
+        let n = 1usize << (1 + rng.below(3));
+        let count = rng.below((n * n * n + 1) as u64) as usize;
+        let sigma = (0..count)
+            .map(|_| {
+                (
+                    rng.below(n as u64) as usize,
+                    rng.below(n as u64) as usize,
+                    rng.below(n as u64) as usize,
+                )
+            })
+            .collect();
+        let coeffs = (
+            rng.below(7) as i64 - 3,
+            rng.below(7) as i64 - 3,
+            rng.below(7) as i64 - 3,
+            rng.below(7) as i64 - 3,
+        );
+        let vals = (0..n * n).map(|_| rng.below(201) as i64 - 100).collect();
+        let inst = AffineInstance {
+            n,
+            sigma,
+            coeffs,
+            vals,
+        };
+        let spec = inst.spec();
+        let init = inst.init();
+        for base in [1usize, 2] {
+            for engine in all_engines() {
+                let rep = diff_engine(&spec, &init, &engine, base);
+                if rep.is_violation() {
+                    ok = false;
+                    println!("trial {trial} base {base}: VIOLATION\n{rep}");
+                    println!("instance:\n{inst}\n");
+                }
+            }
+        }
+        if (trial + 1) % 500 == 0 {
+            println!("… {} trials done", trial + 1);
+        }
+    }
+    println!(
+        "fuzz: {trials} trials, {}",
+        if ok { "no violations" } else { "VIOLATIONS FOUND" }
+    );
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let ok = match what {
+        "regression" => regression(),
+        "demo" => {
+            demo();
+            true
+        }
+        "fuzz" => {
+            let trials = match args.get(1) {
+                None => 2000u64,
+                Some(s) => s.parse().unwrap_or_else(|_| {
+                    eprintln!("fuzz: trial count '{s}' is not a non-negative integer");
+                    std::process::exit(2);
+                }),
+            };
+            fuzz(trials)
+        }
+        "all" => {
+            let a = regression();
+            println!();
+            demo();
+            println!();
+            a && fuzz(2000)
+        }
+        other => {
+            eprintln!("unknown subcommand '{other}'; one of: regression, demo, fuzz, all");
+            std::process::exit(2);
+        }
+    };
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -70,6 +70,9 @@ pub fn cgep_full_with<S, St>(
     St: CellStore<S::Elem>,
 {
     let n = c.n();
+    if n == 0 {
+        return; // Σ ⊆ [0,0)³ is empty — match gep_iterative's no-op.
+    }
     assert!(n.is_power_of_two(), "C-GEP needs a power-of-two side");
     assert!(base_size >= 1);
     assert!(u0.n() == n && u1.n() == n && v0.n() == n && v1.n() == n);

@@ -147,6 +147,25 @@ fn slot_readers<S: GepSpec>(spec: &S, n: usize, a: usize, b: usize) -> [u32; 4] 
 /// Sentinel: reader count not computed yet.
 const UNKNOWN: u32 = u32::MAX;
 
+fn kind_name(kind: u64) -> &'static str {
+    match kind {
+        U0 => "u0",
+        U1 => "u1",
+        V0 => "v0",
+        _ => "v1",
+    }
+}
+
+/// Enumerates `Σ ∩ [0,n)³` for diagnostics (assertion messages only —
+/// O(n³) membership scan, never on the success path).
+fn dump_sigma<S: GepSpec>(spec: &S, n: usize) -> String {
+    let sigma: Vec<(usize, usize, usize)> = (0..n)
+        .flat_map(|k| (0..n).flat_map(move |i| (0..n).map(move |j| (i, j, k))))
+        .filter(|&(i, j, k)| spec.in_sigma(i, j, k))
+        .collect();
+    format!("Σ ({} triples) = {:?}", sigma.len(), sigma)
+}
+
 struct SnapStore<'s, S: GepSpec> {
     spec: &'s S,
     n: usize,
@@ -220,7 +239,13 @@ impl<S: GepSpec> SnapStore<'_, S> {
         self.reads += 1;
         let k = key(kind, a, b);
         let remaining = self.remaining(kind, a, b);
-        debug_assert!(remaining > 0, "read of a slot with no pending readers");
+        debug_assert!(
+            remaining > 0,
+            "read of slot {}[{a},{b}] with no pending readers — reader \
+             accounting disagrees with the engine's actual reads; {}",
+            kind_name(kind),
+            dump_sigma(self.spec, self.n)
+        );
         let val = match self.live.get(&k) {
             Some(&v) => v,
             None => {
@@ -252,6 +277,10 @@ where
     St: CellStore<S::Elem> + ?Sized,
 {
     let n = c.n();
+    if n == 0 {
+        // Σ ⊆ [0,0)³ is empty: nothing to do, nothing ever live.
+        return ReducedSpaceStats::default();
+    }
     assert!(n.is_power_of_two(), "C-GEP needs a power-of-two side");
     assert!(base_size >= 1);
     let mut env = Env {
@@ -270,7 +299,27 @@ where
     env.h_rec(c, 0, 0, 0, n);
     debug_assert!(
         env.snaps.live.is_empty(),
-        "snapshots left live: reader accounting incomplete"
+        "snapshots left live after the run ({:?}): reader accounting \
+         incomplete; {}",
+        env.snaps
+            .live
+            .keys()
+            .map(|&k| {
+                (
+                    kind_name(k >> 60),
+                    (k >> 30) as usize & 0x3FFF_FFFF,
+                    k as usize & 0x3FFF_FFFF,
+                )
+            })
+            .collect::<Vec<_>>(),
+        dump_sigma(spec, n)
+    );
+    debug_assert!(
+        env.snaps.peak <= n * n + n,
+        "peak live snapshots {} exceeds the paper's §2.2.2 bound n²+n = {}; {}",
+        env.snaps.peak,
+        n * n + n,
+        dump_sigma(spec, n)
     );
     ReducedSpaceStats {
         peak_live_snapshots: env.snaps.peak,

@@ -36,6 +36,9 @@ where
     St: CellStore<S::Elem> + ?Sized,
 {
     let n = c.n();
+    if n == 0 {
+        return; // Σ ⊆ [0,0)³ is empty — match gep_iterative's no-op.
+    }
     assert!(n.is_power_of_two(), "I-GEP needs a power-of-two side");
     assert!(base_size >= 1);
     f_rec(spec, c, 0, 0, 0, n, base_size);

@@ -65,6 +65,7 @@ pub mod spec;
 pub mod store;
 pub mod theory;
 pub mod trace;
+pub mod verify;
 
 pub use abcd::igep_opt;
 pub use cgep::{cgep_full, cgep_full_with};
@@ -76,3 +77,4 @@ pub use iterative::gep_iterative;
 pub use joiner::{Joiner, Serial};
 pub use spec::{ClosureSpec, ExplicitSet, GepSpec, SumSpec};
 pub use store::CellStore;
+pub use verify::{diff_engine, diff_engines, DiffReport, Divergence, Engine, TraceSpec};

@@ -58,7 +58,7 @@ pub trait GepSpec {
     /// The default scans downward from `min(l, n-1)`; structured sets
     /// should override with a closed form.
     fn tau(&self, n: usize, i: usize, j: usize, l: i64) -> Option<usize> {
-        if l < 0 {
+        if l < 0 || n == 0 {
             return None;
         }
         let top = (l as usize).min(n - 1);
@@ -180,7 +180,7 @@ impl GepSpec for SumSpec {
     }
     #[inline(always)]
     fn tau(&self, n: usize, _i: usize, _j: usize, l: i64) -> Option<usize> {
-        (l >= 0).then(|| (l as usize).min(n - 1))
+        (l >= 0 && n > 0).then(|| (l as usize).min(n - 1))
     }
 }
 

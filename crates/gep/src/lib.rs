@@ -35,6 +35,11 @@
 //! * [`extmem`] — the out-of-core substrate (simulated disk + page
 //!   cache).
 //! * [`blaslike`] — the cache-aware blocked baseline.
+//! * [`verify`] — the eight-engine differential harness: trace every
+//!   engine against iterative G, localize the first divergent update,
+//!   delta-minimize failing instances (`gep-bench`'s `diffcheck` CLI).
+
+pub mod verify;
 
 pub use gep_apps as apps;
 pub use gep_blaslike as blaslike;

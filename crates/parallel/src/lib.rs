@@ -83,6 +83,9 @@ where
     S: GepSpec + Sync,
 {
     let n = c.n();
+    if n == 0 {
+        return; // Σ ⊆ [0,0)³ is empty — match gep_iterative's no-op.
+    }
     assert!(n.is_power_of_two(), "I-GEP needs a power-of-two side");
     assert!(base_size >= 1);
     let m = GepMat::new(c);

@@ -3,9 +3,12 @@
 //! across sizes and base cases.
 
 use gep::apps::{FwSpec, GaussianSpec, LuSpec, TransitiveClosureSpec};
-use gep::core::{cgep_full, cgep_reduced, gep_iterative, igep, igep_opt, GepSpec};
+use gep::core::{
+    cgep_full, cgep_reduced, gep_iterative, igep, igep_opt, ClosureSpec, ExplicitSet, GepSpec,
+    SumSpec,
+};
 use gep::matrix::Matrix;
-use gep::parallel::{igep_parallel, igep_parallel_simple, with_threads};
+use gep::parallel::{cgep_parallel, igep_parallel, igep_parallel_simple, with_threads};
 
 /// Runs one spec through all engines on one input; panics with a labelled
 /// message on the first divergence. `exact` controls bitwise vs approx
@@ -43,6 +46,12 @@ where
     let mut m = input.clone();
     with_threads(3, || igep_parallel_simple(spec, &mut m, 8));
     assert_eq!(m, oracle, "{label}: igep_parallel_simple");
+
+    for base in [1usize, 8] {
+        let mut m = input.clone();
+        with_threads(3, || cgep_parallel(spec, &mut m, base));
+        assert_eq!(m, oracle, "{label}: cgep_parallel base={base}");
+    }
 }
 
 fn xorshift(seed: u64) -> impl FnMut() -> u64 {
@@ -123,6 +132,10 @@ where
     let mut m = input.clone();
     with_threads(2, || igep_parallel(spec, &mut m, 8));
     assert!(m.approx_eq(&oracle, 1e-9), "{label}: parallel");
+
+    let mut m = input.clone();
+    with_threads(2, || cgep_parallel(spec, &mut m, 8));
+    assert!(m.approx_eq(&oracle, 1e-9), "{label}: cgep_parallel");
 }
 
 #[test]
@@ -165,5 +178,201 @@ fn matmul_embedding_all_engines() {
             (false, false) => 0.0,
         });
         check_all_engines_f64(&MatMulEmbedSpec { n }, &emb, &format!("MM-embed n={n}"));
+    }
+}
+
+/// The shrunk `cgep_is_fully_general` proptest regression (n = 8, 38
+/// explicit Σ-triples, affine f with coefficients (−1,−3,−3,−3)), promoted
+/// to a deterministic test: the fully general engines must reproduce G on
+/// it at every base size, with no proptest in the loop. The instance
+/// itself (Σ and values spelled out) lives in
+/// `gep_core::verify::recorded_regression`.
+#[test]
+fn recorded_regression_deterministic() {
+    let inst = gep::verify::recorded_regression();
+    let spec = inst.spec();
+    let init = inst.init();
+    let mut oracle = init.clone();
+    gep_iterative(&spec, &mut oracle);
+
+    for base in [1usize, 2, 8] {
+        let mut m = init.clone();
+        cgep_full(&spec, &mut m, base);
+        assert_eq!(m, oracle, "cgep_full base={base}");
+
+        let mut m = init.clone();
+        let stats = cgep_reduced(&spec, &mut m, base);
+        assert_eq!(m, oracle, "cgep_reduced base={base}");
+        assert!(
+            stats.peak_live_snapshots <= stats.claimed_bound,
+            "peak {} > bound {}",
+            stats.peak_live_snapshots,
+            stats.claimed_bound
+        );
+
+        let mut m = init.clone();
+        with_threads(3, || cgep_parallel(&spec, &mut m, base));
+        assert_eq!(m, oracle, "cgep_parallel base={base}");
+    }
+}
+
+/// An arbitrary-Σ ClosureSpec instance (not any named application) for the
+/// harness matrix below.
+fn arbitrary_closure_instance() -> (
+    ClosureSpec<i64, impl Fn(usize, usize, usize, i64, i64, i64, i64) -> i64>,
+    Matrix<i64>,
+) {
+    let n = 8usize;
+    let mut rng = xorshift(0xC0FFEE);
+    let sigma: Vec<_> = (0..n)
+        .flat_map(|i| (0..n).flat_map(move |j| (0..n).map(move |k| (i, j, k))))
+        .filter(|_| rng() % 3 == 0)
+        .collect();
+    let spec = ClosureSpec::new(
+        |i, j, k, x: i64, u, v, w| {
+            x.wrapping_mul(2)
+                .wrapping_sub(u.wrapping_mul(5))
+                .wrapping_add(v.wrapping_mul(9))
+                .wrapping_sub(w.wrapping_mul(3))
+                .wrapping_add((7 * i + 3 * j + k) as i64)
+        },
+        ExplicitSet::from_iter(sigma),
+    );
+    let mut rng = xorshift(0xBEEF);
+    let init = Matrix::from_fn(n, n, |_, _| (rng() % 401) as i64 - 200);
+    (spec, init)
+}
+
+/// The differential harness over every registered engine (all eight) on
+/// Floyd–Warshall, and an arbitrary-Σ closure spec: a fully general engine
+/// must never diverge from G; I-GEP must not diverge on the legal FW spec.
+#[test]
+fn verify_harness_all_engines_i64() {
+    use gep::verify::{all_engines, diff_engine};
+
+    let n = 8usize;
+    let mut rng = xorshift(4242);
+    let fw_init = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            0i64
+        } else if rng() % 5 == 0 {
+            i64::MAX / 4
+        } else {
+            (rng() % 90) as i64 + 1
+        }
+    });
+    let engines = all_engines::<FwSpec<i64>>();
+    assert_eq!(engines.len(), 8, "all eight engines registered");
+    for e in &engines {
+        let rep = diff_engine(&FwSpec::<i64>::new(), &fw_init, e, 2);
+        // FW is I-GEP-legal: every engine's *result* equals G's. I-GEP's
+        // per-update operands legitimately differ (π/δ states, Table 1),
+        // so only the fully general engines must match trace-for-trace.
+        assert!(rep.result_matches, "FW result must match G: {rep}");
+        if e.fully_general {
+            assert!(rep.matches(), "FW: {rep}");
+        }
+    }
+
+    let (spec, init) = arbitrary_closure_instance();
+    for e in &all_engines() {
+        let rep = diff_engine(&spec, &init, e, 1);
+        assert!(!rep.is_violation(), "{rep}");
+    }
+}
+
+/// The harness on Gaussian elimination (f64): every engine's final matrix
+/// equals G's bitwise (division orders coincide), and the fully general
+/// engines match G trace-for-trace.
+#[test]
+fn verify_harness_all_engines_gaussian() {
+    use gep::verify::{all_engines, diff_engine};
+
+    let n = 8usize;
+    let mut rng = xorshift(99);
+    let mut init = Matrix::from_fn(n, n, |_, _| (rng() % 1000) as f64 / 1000.0 - 0.5);
+    for i in 0..n {
+        init[(i, i)] = n as f64 + 2.0;
+    }
+    for e in &all_engines::<GaussianSpec>() {
+        let rep = diff_engine(&GaussianSpec, &init, e, 2);
+        assert!(rep.result_matches, "GE result must match G: {rep}");
+        if e.fully_general {
+            assert!(rep.matches(), "GE: {rep}");
+        }
+    }
+}
+
+/// The harness must *localize* a real bug: `cgep_full_buggy` reintroduces
+/// the wrong w-read bracket, and the report pinpoints the first divergent
+/// update with the offending operand; the minimizer shrinks the witness
+/// to n ≤ 4.
+#[test]
+fn verify_harness_catches_reintroduced_bug() {
+    use gep::verify::{buggy_engine, diff_engine, minimize, AffineInstance, Divergence};
+
+    let inst = gep::verify::recorded_regression();
+    let rep = diff_engine(&inst.spec(), &inst.init(), &buggy_engine(), 1);
+    assert!(rep.is_violation());
+    match rep.divergence {
+        Some(Divergence::DivergentUpdate { update, ref operands, .. }) => {
+            assert_eq!(update.0, update.2, "w-bracket bug fires on i == k");
+            assert!(operands.iter().any(|d| d.operand == "w"));
+        }
+        ref d => panic!("expected DivergentUpdate, got {d:?}"),
+    }
+
+    let fails = |cand: &AffineInstance| {
+        diff_engine(&cand.spec(), &cand.init(), &buggy_engine(), 1).is_violation()
+    };
+    let min = minimize(&inst, &fails);
+    assert!(min.n <= 4, "minimized witness n = {}", min.n);
+    assert!(fails(&min));
+}
+
+/// n = 0 and n = 1 through every engine entry point: no panics, and the
+/// n = 1 result matches G (a single cell, Σ ⊆ {⟨0,0,0⟩}).
+#[test]
+fn degenerate_sizes_all_engines() {
+    for n in [0usize, 1] {
+        let input = Matrix::from_fn(n, n, |_, _| 7i64);
+        let mut oracle = input.clone();
+        gep_iterative(&SumSpec, &mut oracle);
+
+        let mut m = input.clone();
+        igep(&SumSpec, &mut m, 1);
+        assert_eq!(m, oracle, "igep n={n}");
+
+        let mut m = input.clone();
+        igep_opt(&SumSpec, &mut m, 1);
+        assert_eq!(m, oracle, "igep_opt n={n}");
+
+        let mut m = input.clone();
+        cgep_full(&SumSpec, &mut m, 1);
+        assert_eq!(m, oracle, "cgep_full n={n}");
+
+        let mut m = input.clone();
+        let stats = cgep_reduced(&SumSpec, &mut m, 1);
+        assert_eq!(m, oracle, "cgep_reduced n={n}");
+        assert!(stats.peak_live_snapshots <= stats.claimed_bound);
+
+        let mut m = input.clone();
+        with_threads(2, || igep_parallel(&SumSpec, &mut m, 1));
+        assert_eq!(m, oracle, "igep_parallel n={n}");
+
+        let mut m = input.clone();
+        with_threads(2, || igep_parallel_simple(&SumSpec, &mut m, 1));
+        assert_eq!(m, oracle, "igep_parallel_simple n={n}");
+
+        let mut m = input.clone();
+        with_threads(2, || cgep_parallel(&SumSpec, &mut m, 1));
+        assert_eq!(m, oracle, "cgep_parallel n={n}");
+
+        // Applications: FW and TC must also accept the degenerate sizes
+        // (their τ overrides used to underflow at n = 0).
+        let mut d = Matrix::from_fn(n, n, |_, _| 0i64);
+        igep(&FwSpec::<i64>::new(), &mut d, 1);
+        let mut t = Matrix::from_fn(n, n, |_, _| true);
+        igep(&TransitiveClosureSpec, &mut t, 1);
     }
 }
