@@ -34,12 +34,7 @@ impl GepSpec for GaussianSpec {
     }
 
     #[inline(always)]
-    fn sigma_intersects(
-        &self,
-        ib: (usize, usize),
-        jb: (usize, usize),
-        kb: (usize, usize),
-    ) -> bool {
+    fn sigma_intersects(&self, ib: (usize, usize), jb: (usize, usize), kb: (usize, usize)) -> bool {
         // Σ ∩ box ≠ ∅ ⇔ some i > k and some j > k with k in range:
         // the smallest k works if any does.
         ib.1 > kb.0 && jb.1 > kb.0

@@ -39,12 +39,7 @@ impl GepSpec for LuSpec {
     }
 
     #[inline(always)]
-    fn sigma_intersects(
-        &self,
-        ib: (usize, usize),
-        jb: (usize, usize),
-        kb: (usize, usize),
-    ) -> bool {
+    fn sigma_intersects(&self, ib: (usize, usize), jb: (usize, usize), kb: (usize, usize)) -> bool {
         ib.1 > kb.0 && jb.1 >= kb.0
     }
 
@@ -135,7 +130,11 @@ mod tests {
             lu_in_place(&mut p, 4);
             let (l, u) = unpack(&p);
             let lu = matmul_reference(&l, &u);
-            assert!(lu.approx_eq(&a, 1e-9), "n={n}: ||LU - A|| = {}", lu.max_abs_diff(&a));
+            assert!(
+                lu.approx_eq(&a, 1e-9),
+                "n={n}: ||LU - A|| = {}",
+                lu.max_abs_diff(&a)
+            );
         }
     }
 

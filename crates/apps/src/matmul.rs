@@ -82,12 +82,7 @@ impl GepSpec for MatMulEmbedSpec {
     }
 
     #[inline(always)]
-    fn sigma_intersects(
-        &self,
-        ib: (usize, usize),
-        jb: (usize, usize),
-        kb: (usize, usize),
-    ) -> bool {
+    fn sigma_intersects(&self, ib: (usize, usize), jb: (usize, usize), kb: (usize, usize)) -> bool {
         ib.1 >= self.n && jb.1 >= self.n && kb.0 < self.n
     }
 

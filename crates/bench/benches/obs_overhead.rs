@@ -1,0 +1,51 @@
+//! Instrumentation overhead: n = 512 I-GEP with the recorder disabled
+//! (the default — every hook is one relaxed atomic load), counters-only,
+//! and full span recording.
+//!
+//! The acceptance bar for the observability layer is that `disabled` is
+//! indistinguishable from the pre-instrumentation baseline; the other two
+//! configurations price the opt-in modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gep_apps::floyd_warshall::FwSpec;
+use gep_bench::workloads::random_dist_matrix;
+use gep_core::igep_opt;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = FwSpec::<i64>::new();
+    let n = 512;
+    let base = 64;
+    let input = random_dist_matrix(n, 8);
+    let mut g = c.benchmark_group("obs_overhead_igep512");
+    g.sample_size(10);
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            let mut m = input.clone();
+            igep_opt(&spec, &mut m, base);
+            black_box(m[(0, 0)])
+        })
+    });
+    g.bench_function("counters", |b| {
+        b.iter(|| {
+            gep_obs::install(gep_obs::Recorder::counters_only());
+            let mut m = input.clone();
+            igep_opt(&spec, &mut m, base);
+            let rec = gep_obs::take().expect("recorder was installed");
+            black_box((m[(0, 0)], rec.counter("abcd.base_cases")))
+        })
+    });
+    g.bench_function("spans", |b| {
+        b.iter(|| {
+            gep_obs::install(gep_obs::Recorder::new());
+            let mut m = input.clone();
+            igep_opt(&spec, &mut m, base);
+            let rec = gep_obs::take().expect("recorder was installed");
+            black_box((m[(0, 0)], rec.spans.len()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

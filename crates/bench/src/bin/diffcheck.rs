@@ -19,7 +19,9 @@
 //!   witness.
 //! * `fuzz [trials]` — random general-Σ instances through all eight
 //!   engines; any divergence of a fully general engine is localized and
-//!   reported (exit code 1).
+//!   reported (exit code 1). Every instance has its own RNG seed, printed
+//!   on failure; `fuzz --seed <u64>` (decimal or 0x-hex) replays exactly
+//!   that instance deterministically.
 
 use gep::verify::{
     all_engines, buggy_engine, diff_engine, minimize, recorded_regression, AffineInstance,
@@ -105,45 +107,89 @@ fn demo() {
     println!("localization on the minimized witness:\n{rep}");
 }
 
-fn fuzz(trials: u64) -> bool {
-    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+/// Master seed the per-trial seeds derive from.
+const FUZZ_MASTER_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: turns `master + trial` into a well-mixed
+/// per-trial seed, so each instance is reproducible from one number.
+fn mix(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds the random instance identified by `seed`.
+fn random_instance(seed: u64) -> AffineInstance {
+    // xorshift has 0 as a fixed point; remap it rather than hang.
+    let mut rng = Rng(seed.max(1));
+    let n = 1usize << (1 + rng.below(3));
+    let count = rng.below((n * n * n + 1) as u64) as usize;
+    let sigma = (0..count)
+        .map(|_| {
+            (
+                rng.below(n as u64) as usize,
+                rng.below(n as u64) as usize,
+                rng.below(n as u64) as usize,
+            )
+        })
+        .collect();
+    let coeffs = (
+        rng.below(7) as i64 - 3,
+        rng.below(7) as i64 - 3,
+        rng.below(7) as i64 - 3,
+        rng.below(7) as i64 - 3,
+    );
+    let vals = (0..n * n).map(|_| rng.below(201) as i64 - 100).collect();
+    AffineInstance {
+        n,
+        sigma,
+        coeffs,
+        vals,
+    }
+}
+
+/// Checks the instance of one seed through all engines; prints the seed
+/// with any violation so the instance can be replayed via `--seed`.
+fn fuzz_one(seed: u64, label: &str) -> bool {
+    let inst = random_instance(seed);
+    let spec = inst.spec();
+    let init = inst.init();
+    let mut ok = true;
+    for base in [1usize, 2] {
+        for engine in all_engines() {
+            let rep = diff_engine(&spec, &init, &engine, base);
+            if rep.is_violation() {
+                ok = false;
+                println!("{label} (seed {seed:#018x}) base {base}: VIOLATION\n{rep}");
+                println!("instance:\n{inst}\n");
+                println!("replay with: diffcheck fuzz --seed {seed:#x}\n");
+            }
+        }
+    }
+    ok
+}
+
+fn fuzz(trials: u64, replay: Option<u64>) -> bool {
+    if let Some(seed) = replay {
+        println!("replaying the instance of seed {seed:#018x}:");
+        println!("{}\n", random_instance(seed));
+        let ok = fuzz_one(seed, "replay");
+        println!(
+            "replay: {}",
+            if ok {
+                "no violations"
+            } else {
+                "VIOLATIONS FOUND"
+            }
+        );
+        return ok;
+    }
     let mut ok = true;
     for trial in 0..trials {
-        let n = 1usize << (1 + rng.below(3));
-        let count = rng.below((n * n * n + 1) as u64) as usize;
-        let sigma = (0..count)
-            .map(|_| {
-                (
-                    rng.below(n as u64) as usize,
-                    rng.below(n as u64) as usize,
-                    rng.below(n as u64) as usize,
-                )
-            })
-            .collect();
-        let coeffs = (
-            rng.below(7) as i64 - 3,
-            rng.below(7) as i64 - 3,
-            rng.below(7) as i64 - 3,
-            rng.below(7) as i64 - 3,
-        );
-        let vals = (0..n * n).map(|_| rng.below(201) as i64 - 100).collect();
-        let inst = AffineInstance {
-            n,
-            sigma,
-            coeffs,
-            vals,
-        };
-        let spec = inst.spec();
-        let init = inst.init();
-        for base in [1usize, 2] {
-            for engine in all_engines() {
-                let rep = diff_engine(&spec, &init, &engine, base);
-                if rep.is_violation() {
-                    ok = false;
-                    println!("trial {trial} base {base}: VIOLATION\n{rep}");
-                    println!("instance:\n{inst}\n");
-                }
-            }
+        let seed = mix(FUZZ_MASTER_SEED.wrapping_add(trial));
+        if !fuzz_one(seed, &format!("trial {trial}")) {
+            ok = false;
         }
         if (trial + 1) % 500 == 0 {
             println!("… {} trials done", trial + 1);
@@ -151,13 +197,38 @@ fn fuzz(trials: u64) -> bool {
     }
     println!(
         "fuzz: {trials} trials, {}",
-        if ok { "no violations" } else { "VIOLATIONS FOUND" }
+        if ok {
+            "no violations"
+        } else {
+            "VIOLATIONS FOUND"
+        }
     );
     ok
 }
 
+/// Parses a seed in decimal or `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: Option<u64> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        let value = args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--seed needs a value");
+            std::process::exit(2);
+        });
+        seed = Some(parse_seed(&value).unwrap_or_else(|| {
+            eprintln!("--seed '{value}' is not a u64 (decimal or 0x-hex)");
+            std::process::exit(2);
+        }));
+        args.drain(pos..=pos + 1);
+    }
     let what = args.first().map(String::as_str).unwrap_or("all");
     let ok = match what {
         "regression" => regression(),
@@ -173,14 +244,14 @@ fn main() {
                     std::process::exit(2);
                 }),
             };
-            fuzz(trials)
+            fuzz(trials, seed)
         }
         "all" => {
             let a = regression();
             println!();
             demo();
             println!();
-            a && fuzz(2000)
+            a && fuzz(2000, seed)
         }
         other => {
             eprintln!("unknown subcommand '{other}'; one of: regression, demo, fuzz, all");

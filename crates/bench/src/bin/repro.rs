@@ -3,13 +3,48 @@
 //! ```text
 //! cargo run -p gep-bench --release --bin repro -- all --quick
 //! cargo run -p gep-bench --release --bin repro -- fig8
+//! cargo run -p gep-bench --release --bin repro -- all --quick --json
+//! cargo run -p gep-bench --release --bin repro -- validate
+//! cargo run -p gep-bench --release --bin repro -- trace
 //! ```
+//!
+//! With `--json`, every experiment also writes a machine-readable
+//! `BENCH_<experiment>.json` into `bench_json/` (schema:
+//! `gep_obs::bench`); `validate` re-parses and schema-checks the emitted
+//! files, which is what CI archives. `trace` records one multithreaded
+//! I-GEP run and writes its A/B/C/D call tree as Chrome trace-event JSON
+//! (open `bench_json/trace_igep.json` at <https://ui.perfetto.dev>).
 
 use gep_bench::experiments::*;
+use gep_bench::jsonout;
+use gep_obs::{BenchDoc, Json};
+
+fn fnum(v: f64) -> Json {
+    Json::Float(v)
+}
+
+fn inum(v: u64) -> Json {
+    Json::Int(v as i64)
+}
+
+fn ooc_doc(name: &str, title: &str, quick: bool, runs: &[fig7::OocRun]) -> BenchDoc {
+    let mut d = BenchDoc::new(name, title, quick);
+    for r in runs {
+        d.row(vec![
+            ("engine", Json::Str(r.engine.slug().into())),
+            ("m_bytes", inum(r.m_bytes)),
+            ("b_bytes", inum(r.b_bytes)),
+            ("wait_s", fnum(r.wait_s)),
+            ("transfers", inum(r.transfers)),
+        ]);
+    }
+    d
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -32,6 +67,8 @@ fn main() {
         "lemma31",
         "lemma32",
         "layout",
+        "validate",
+        "trace",
         "all",
     ];
     if !known.contains(&what) {
@@ -39,20 +76,109 @@ fn main() {
         std::process::exit(2);
     }
 
+    if what == "validate" {
+        match jsonout::validate_all(&jsonout::out_dir()) {
+            Ok(count) => println!("{count} BENCH file(s) valid"),
+            Err(e) => {
+                eprintln!("validation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if what == "trace" {
+        // Base n/16 keeps the span count in the thousands (base 1 at this
+        // size would record millions of per-call spans).
+        let n = if quick { 128 } else { 512 };
+        let base = n / 16;
+        let spec = gep_apps::floyd_warshall::FwSpec::<i64>::new();
+        let mut c = gep_bench::workloads::random_dist_matrix(n, 8);
+        gep_obs::install(gep_obs::Recorder::new());
+        gep_parallel::with_threads(4, || gep_parallel::igep_parallel(&spec, &mut c, base));
+        let rec = gep_obs::take().expect("recorder was installed");
+        print!("{}", gep_obs::summary(&rec));
+        let dir = jsonout::out_dir();
+        let path = dir.join("trace_igep.json");
+        let write = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, gep_obs::chrome_trace_string(&rec)));
+        match write {
+            Ok(()) => println!(
+                "wrote {} ({} spans; open at https://ui.perfetto.dev)",
+                path.display(),
+                rec.spans.len()
+            ),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let run = |name: &str| what == "all" || what == name;
+    let emit = |doc: &BenchDoc| {
+        if json {
+            jsonout::emit(doc);
+        }
+    };
 
     if run("counterexample") {
-        theory::counterexample();
+        let (g, f, h) = theory::counterexample();
+        let mut d = BenchDoc::new(
+            "counterexample",
+            "Section 2.2.1: the 2x2 instance where I-GEP != GEP",
+            quick,
+        );
+        for (engine, value) in [("G", g), ("F", f), ("H", h)] {
+            d.row(vec![
+                ("engine", Json::Str(engine.into())),
+                ("c21", Json::Int(value)),
+            ]);
+        }
+        emit(&d);
     }
     if run("table1") {
-        theory::table1(if quick { 8 } else { 16 });
+        let ok = theory::table1(if quick { 8 } else { 16 });
+        let mut d = BenchDoc::new("table1", "Table 1: operand states read by G and F", quick);
+        d.row(vec![("checks_passed", Json::Bool(ok))]);
+        emit(&d);
     }
     if run("table2") {
         theory::table2();
+        let mut d = BenchDoc::new("table2", "Table 2: machine inventory", quick)
+            .host(&gep_bench::util::host_info());
+        for m in gep_cachesim::table2_machines() {
+            d.row(vec![
+                ("model", Json::Str(m.name.into())),
+                ("processors", inum(m.processors as u64)),
+                ("ghz", fnum(m.ghz)),
+                ("peak_gflops", fnum(m.peak_gflops)),
+                ("l1_bytes", inum(m.l1.0)),
+                ("l2_bytes", inum(m.l2.0)),
+                ("ram_bytes", inum(m.ram)),
+            ]);
+        }
+        emit(&d);
     }
     if run("fig7a") {
         let (n, b) = if quick { (128, 128) } else { (256, 256) };
-        fig7::fig7a(n, b, &[1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0]);
+        if json {
+            gep_obs::install(gep_obs::Recorder::counters_only());
+        }
+        let runs = fig7::fig7a(n, b, &[1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0]);
+        let mut d = ooc_doc(
+            "fig7a",
+            "Figure 7(a): out-of-core FW, I/O wait vs cache size M",
+            quick,
+            &runs,
+        );
+        if let Some(rec) = gep_obs::take() {
+            for (k, v) in &rec.counters {
+                d.counter(k, *v);
+            }
+        }
+        emit(&d);
     }
     if run("fig7b") {
         // Fixed M = 1/4 of the matrix; sweep B. Tall cache M >= B²
@@ -64,7 +190,22 @@ fn main() {
         } else {
             &[128, 256, 512, 1024, 2048]
         };
-        fig7::fig7b(n, m, bs);
+        if json {
+            gep_obs::install(gep_obs::Recorder::counters_only());
+        }
+        let runs = fig7::fig7b(n, m, bs);
+        let mut d = ooc_doc(
+            "fig7b",
+            "Figure 7(b): out-of-core FW, I/O wait vs M/B",
+            quick,
+            &runs,
+        );
+        if let Some(rec) = gep_obs::take() {
+            for (k, v) in &rec.counters {
+                d.counter(k, *v);
+            }
+        }
+        emit(&d);
     }
     if run("fig8") {
         let sizes: &[usize] = if quick {
@@ -72,10 +213,38 @@ fn main() {
         } else {
             &[256, 512, 1024, 2048]
         };
-        fig8::fig8(sizes, if quick { 1 } else { 3 });
+        let rows = fig8::fig8(sizes, if quick { 1 } else { 3 });
+        let mut d = BenchDoc::new(
+            "fig8",
+            "Figure 8: in-core Floyd-Warshall, GEP vs I-GEP",
+            quick,
+        )
+        .host(&gep_bench::util::host_info());
+        for r in &rows {
+            d.row(vec![
+                ("n", inum(r.n as u64)),
+                ("gep_s", fnum(r.gep_s)),
+                ("igep_s", fnum(r.igep_s)),
+                ("speedup", fnum(r.speedup())),
+            ]);
+        }
+        emit(&d);
         // n = 512 i64 = 2 MB: the first power of two above the Xeon's
         // 512 KB L2 (smaller sizes fit and show only compulsory misses).
-        fig8::fig8_misses(&[512]);
+        let misses = fig8::fig8_misses(&[512]);
+        let mut d = BenchDoc::new(
+            "fig8_misses",
+            "Figure 8 (cache view): L2 misses on the simulated Intel Xeon",
+            quick,
+        );
+        for (n, gep_l2, igep_l2) in misses {
+            d.row(vec![
+                ("n", inum(n as u64)),
+                ("gep_l2_misses", inum(gep_l2)),
+                ("igep_l2_misses", inum(igep_l2)),
+            ]);
+        }
+        emit(&d);
     }
     if run("fig9") {
         // 512 caps the sweep: the reduced-space variant's bookkeeping
@@ -85,9 +254,33 @@ fn main() {
         } else {
             &[128, 256, 512]
         };
-        fig9::fig9_time(sizes, if quick { 1 } else { 3 });
+        let rows = fig9::fig9_time(sizes, if quick { 1 } else { 3 });
+        let mut d = BenchDoc::new("fig9", "Figure 9 (time): I-GEP vs C-GEP variants", quick)
+            .host(&gep_bench::util::host_info());
+        for r in &rows {
+            d.row(vec![
+                ("n", inum(r.n as u64)),
+                ("igep_s", fnum(r.igep_s)),
+                ("cgep4_s", fnum(r.cgep4_s)),
+                ("cgepr_s", fnum(r.cgepr_s)),
+            ]);
+        }
+        emit(&d);
         let miss_sizes: &[usize] = if quick { &[64, 128] } else { &[128, 256] };
-        fig9::fig9_misses(miss_sizes);
+        let misses = fig9::fig9_misses(miss_sizes);
+        let mut d = BenchDoc::new(
+            "fig9_misses",
+            "Figure 9 (L2 misses): simulated Intel Xeon hierarchy",
+            quick,
+        );
+        for (n, igep_l2, cgep_l2) in misses {
+            d.row(vec![
+                ("n", inum(n as u64)),
+                ("igep_l2_misses", inum(igep_l2)),
+                ("cgep4_l2_misses", inum(cgep_l2)),
+            ]);
+        }
+        emit(&d);
     }
     if run("fig10") {
         let sizes: &[usize] = if quick {
@@ -95,7 +288,22 @@ fn main() {
         } else {
             &[256, 512, 1024, 2048]
         };
-        fig10::fig10(sizes, if quick { 1 } else { 3 });
+        let rows = fig10::fig10(sizes, if quick { 1 } else { 3 });
+        let mut d = BenchDoc::new(
+            "fig10",
+            "Figure 10: Gaussian elimination, GEP vs I-GEP vs blocked baseline",
+            quick,
+        )
+        .host(&gep_bench::util::host_info());
+        for r in &rows {
+            d.row(vec![
+                ("n", inum(r.n as u64)),
+                ("gep_s", fnum(r.gep_s)),
+                ("igep_s", fnum(r.igep_s)),
+                ("blocked_s", fnum(r.blas_s)),
+            ]);
+        }
+        emit(&d);
     }
     if run("fig11") {
         let sizes: &[usize] = if quick {
@@ -103,11 +311,43 @@ fn main() {
         } else {
             &[256, 512, 1024]
         };
-        fig11::fig11_time(sizes, if quick { 1 } else { 3 });
+        let rows = fig11::fig11_time(sizes, if quick { 1 } else { 3 });
+        let mut d = BenchDoc::new(
+            "fig11",
+            "Figure 11 (time): matrix multiplication, loop vs I-GEP vs dgemm",
+            quick,
+        )
+        .host(&gep_bench::util::host_info());
+        for r in &rows {
+            d.row(vec![
+                ("n", inum(r.n as u64)),
+                ("loop_s", fnum(r.gep_s)),
+                ("igep_s", fnum(r.igep_s)),
+                ("dgemm_s", fnum(r.blas_s)),
+            ]);
+        }
+        emit(&d);
         // f64 matrices: 3 x 512 KB at n = 256 exceed the Opteron's 1 MB
         // L2; n = 128 discriminates only in L1.
         let miss_sizes: &[usize] = if quick { &[128] } else { &[128, 256] };
-        fig11::fig11_misses(miss_sizes);
+        let misses = fig11::fig11_misses(miss_sizes);
+        let mut d = BenchDoc::new(
+            "fig11_misses",
+            "Figure 11 (misses): simulated AMD Opteron 250, L1/L2 misses",
+            quick,
+        );
+        for m in misses {
+            d.row(vec![
+                ("n", inum(m.n as u64)),
+                ("loop_l1", inum(m.naive.0)),
+                ("loop_l2", inum(m.naive.1)),
+                ("igep_l1", inum(m.igep.0)),
+                ("igep_l2", inum(m.igep.1)),
+                ("tiled_l1", inum(m.tiled.0)),
+                ("tiled_l2", inum(m.tiled.1)),
+            ]);
+        }
+        emit(&d);
     }
     if run("fig12") {
         let n = if quick { 256 } else { 1024 };
@@ -116,18 +356,87 @@ fn main() {
             .unwrap_or(1)
             .max(8);
         let threads: Vec<usize> = (1..=max_threads.min(8)).collect();
-        fig12::fig12(n, &threads, if quick { 1 } else { 2 });
+        let apps = fig12::fig12(n, &threads, if quick { 1 } else { 2 });
+        let mut d = BenchDoc::new("fig12", "Figure 12: multithreaded I-GEP speedup", quick)
+            .host(&gep_bench::util::host_info());
+        for app in &apps {
+            for &(p, secs, speedup) in &app.points {
+                d.row(vec![
+                    ("app", Json::Str(app.app.into())),
+                    ("threads", inum(p as u64)),
+                    ("seconds", fnum(secs)),
+                    ("speedup", fnum(speedup)),
+                    (
+                        "predicted_speedup",
+                        fnum(fig12::predicted_speedup(app.app, n, p)),
+                    ),
+                ]);
+            }
+        }
+        emit(&d);
     }
     if run("span") {
-        theory::span_report(if quick { 1 << 10 } else { 1 << 13 });
+        let (rows, live_ok) = theory::span_report(if quick { 1 << 10 } else { 1 << 13 });
+        let mut d = BenchDoc::new(
+            "span",
+            "Section 3: span recurrences + live instrumentation cross-check",
+            quick,
+        );
+        for (m, span_full, span_simple, span_mm, work) in rows {
+            d.row(vec![
+                ("n", inum(m as u64)),
+                ("span_full", inum(span_full)),
+                ("span_simple", inum(span_simple)),
+                ("span_mm", inum(span_mm)),
+                ("work", inum(work)),
+            ]);
+        }
+        d.counter("live_cross_check_passed", live_ok as u64);
+        emit(&d);
+        if !live_ok {
+            eprintln!("error: recorded A/B/C/D counts diverge from the span recurrences");
+            std::process::exit(1);
+        }
     }
     if run("space") {
-        let sizes: &[usize] = if quick { &[8, 16, 32] } else { &[8, 16, 32, 64] };
-        theory::space_report(sizes);
+        let sizes: &[usize] = if quick {
+            &[8, 16, 32]
+        } else {
+            &[8, 16, 32, 64]
+        };
+        let rows = theory::space_report(sizes);
+        let mut d = BenchDoc::new(
+            "space",
+            "Section 2.2.2: reduced-space C-GEP live-snapshot peaks",
+            quick,
+        );
+        for (n, peak, bound) in rows {
+            d.row(vec![
+                ("n", inum(n as u64)),
+                ("peak_live_snapshots", inum(peak as u64)),
+                ("claimed_bound", inum(bound as u64)),
+            ]);
+        }
+        emit(&d);
     }
     if run("layout") {
         let sizes: &[usize] = if quick { &[256] } else { &[256, 512] };
-        layout::layout_study(sizes, 64);
+        let rows = layout::layout_study(sizes, 64);
+        let mut d = BenchDoc::new(
+            "layout",
+            "Section 4.2: row-major vs Morton-tiled TLB/L2 misses",
+            quick,
+        );
+        for (n, rm, mt) in rows {
+            d.row(vec![
+                ("n", inum(n as u64)),
+                ("rowmajor_tlb", inum(rm.0)),
+                ("rowmajor_l2", inum(rm.1)),
+                ("morton_tlb", inum(mt.0)),
+                ("morton_l2", inum(mt.1)),
+            ]);
+        }
+        emit(&d);
     }
     if run("lemma31") {
         let (n, m, b) = if quick {
@@ -135,10 +444,30 @@ fn main() {
         } else {
             (128, 16 * 1024, 128)
         };
-        lemma::lemma31(n, m as u64, b);
+        let rows = lemma::lemma31(n, m as u64, b);
+        let mut d = BenchDoc::new(
+            "lemma31",
+            "Lemma 3.1(b): deterministic distributed-cache schedule",
+            quick,
+        );
+        for (p, qp) in rows {
+            d.row(vec![("p", inum(p as u64)), ("misses", inum(qp))]);
+        }
+        emit(&d);
     }
     if run("lemma32") {
-        let (n, m1) = if quick { (32, 2 * 1024) } else { (64, 4 * 1024) };
-        lemma::lemma32(n, m1, 64);
+        let (n, m1) = if quick {
+            (32, 2 * 1024)
+        } else {
+            (64, 4 * 1024)
+        };
+        let (q1, q2_same, q2_big) = lemma::lemma32(n, m1, 64);
+        let mut d = BenchDoc::new("lemma32", "Lemma 3.2(b): shared-cache schedules", quick);
+        d.row(vec![
+            ("q1", inum(q1)),
+            ("q2_same_m", inum(q2_same)),
+            ("q2_enlarged", inum(q2_big)),
+        ]);
+        emit(&d);
     }
 }

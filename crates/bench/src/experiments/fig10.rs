@@ -66,7 +66,14 @@ pub fn fig10(sizes: &[usize], reps: usize) -> Vec<Fig10Row> {
     }
     print_table(
         "Figure 10: Gaussian elimination w/o pivoting (f64)",
-        &["n", "GEP", "I-GEP (base 64)", "cache-aware blocked", "GEP/I-GEP", "I-GEP/blocked"],
+        &[
+            "n",
+            "GEP",
+            "I-GEP (base 64)",
+            "cache-aware blocked",
+            "GEP/I-GEP",
+            "I-GEP/blocked",
+        ],
         &rows,
     );
     println!("paper: GotoBLAS ~75-83% peak, I-GEP ~45-55%, GEP ~7-9% (ordering and rough factors are the reproduction target).");

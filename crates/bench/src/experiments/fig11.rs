@@ -62,7 +62,14 @@ pub fn fig11_time(sizes: &[usize], reps: usize) -> Vec<Fig11Row> {
     }
     print_table(
         "Figure 11 (time): square matrix multiplication (f64, C += A·B)",
-        &["n", "triple loop", "I-GEP (base 64)", "cache-aware dgemm", "loop/I-GEP", "I-GEP/dgemm"],
+        &[
+            "n",
+            "triple loop",
+            "I-GEP (base 64)",
+            "cache-aware dgemm",
+            "loop/I-GEP",
+            "I-GEP/dgemm",
+        ],
         &rows,
     );
     println!("paper (Opteron): BLAS 78-83% peak, I-GEP 50-56%, GEP 9-13%.");
@@ -284,6 +291,11 @@ mod tests {
             m.igep,
             m.tiled
         );
-        assert!(m.igep.1 <= m.tiled.1, "equal-or-fewer L2 misses: {:?} vs {:?}", m.igep, m.tiled);
+        assert!(
+            m.igep.1 <= m.tiled.1,
+            "equal-or-fewer L2 misses: {:?} vs {:?}",
+            m.igep,
+            m.tiled
+        );
     }
 }

@@ -81,8 +81,17 @@ pub fn fig12(n: usize, threads: &[usize], reps: usize) -> Vec<ScalingRow> {
         }
     }
     print_table(
-        &format!("Figure 12: multithreaded I-GEP, n={n} (host: {})", crate::util::host_info()),
-        &["app", "threads", "time", "measured speedup", "predicted speedup (T₁/p+T∞)"],
+        &format!(
+            "Figure 12: multithreaded I-GEP, n={n} (host: {})",
+            crate::util::host_info()
+        ),
+        &[
+            "app",
+            "threads",
+            "time",
+            "measured speedup",
+            "predicted speedup (T₁/p+T∞)",
+        ],
         &rows,
     );
     println!("paper (8 threads, n=5000): MM 6.0x, FW 5.73x, GE 5.33x.");

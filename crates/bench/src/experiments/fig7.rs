@@ -40,6 +40,16 @@ impl Engine {
             Engine::CGepReduced => "C-GEP (n²+n)",
         }
     }
+
+    /// Counter-name fragment: recorded I/O lands under `io.<slug>.*`.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Engine::Gep => "gep",
+            Engine::IGep => "igep",
+            Engine::CGepFull => "cgep4",
+            Engine::CGepReduced => "cgepr",
+        }
+    }
 }
 
 /// One measured out-of-core run.
@@ -89,6 +99,16 @@ pub fn run_ooc(engine: Engine, input: &Matrix<i64>, m_bytes: u64, b_bytes: u64) 
         }
     }
     let end = arena.borrow().io_stats();
+    if gep_obs::enabled() {
+        gep_extmem::IoStats {
+            block_reads: end.block_reads - baseline.block_reads,
+            block_writes: end.block_writes - baseline.block_writes,
+            seeks: end.seeks - baseline.seeks,
+            bytes: end.bytes - baseline.bytes,
+            wait_s: end.wait_s - baseline.wait_s,
+        }
+        .publish(engine.slug());
+    }
     OocRun {
         engine,
         m_bytes,
@@ -121,14 +141,7 @@ pub fn fig7a(n: usize, b_bytes: u64, m_fractions: &[f64]) -> Vec<OocRun> {
     }
     print_table(
         &format!("Figure 7(a): out-of-core FW, n={n}, B={b_bytes} B — I/O wait (modelled s) vs M"),
-        &[
-            "M/matrix",
-            "M",
-            "GEP",
-            "I-GEP",
-            "C-GEP 4n²",
-            "C-GEP n²+n",
-        ],
+        &["M/matrix", "M", "GEP", "I-GEP", "C-GEP 4n²", "C-GEP n²+n"],
         &rows,
     );
     runs
@@ -158,14 +171,7 @@ pub fn fig7b(n: usize, m_bytes: u64, b_list: &[u64]) -> Vec<OocRun> {
             "Figure 7(b): out-of-core FW, n={n}, M={} KiB — I/O wait (modelled s) vs M/B",
             m_bytes / 1024
         ),
-        &[
-            "M/B",
-            "B",
-            "GEP",
-            "I-GEP",
-            "C-GEP 4n²",
-            "C-GEP n²+n",
-        ],
+        &["M/B", "B", "GEP", "I-GEP", "C-GEP 4n²", "C-GEP n²+n"],
         &rows,
     );
     runs

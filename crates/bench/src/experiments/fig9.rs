@@ -101,7 +101,11 @@ pub fn fig9_misses(sizes: &[usize]) -> Vec<(usize, u64, u64)> {
         rows.push(vec![
             n.to_string(),
             igep_l2.to_string(),
-            format!("{} ({:.2}x)", cgep_l2, cgep_l2 as f64 / igep_l2.max(1) as f64),
+            format!(
+                "{} ({:.2}x)",
+                cgep_l2,
+                cgep_l2 as f64 / igep_l2.max(1) as f64
+            ),
         ]);
     }
     print_table(

@@ -53,7 +53,9 @@ pub fn distributed_run(n: usize, p: usize, m_bytes: u64, b_bytes: u64) -> (u64, 
     assert!(n % rp == 0 && (n / rp).is_power_of_two());
     let spec = FwSpec::<i64>::new();
     let caches = Rc::new(RefCell::new(
-        (0..p).map(|_| IdealCache::new(m_bytes, b_bytes)).collect::<Vec<_>>(),
+        (0..p)
+            .map(|_| IdealCache::new(m_bytes, b_bytes))
+            .collect::<Vec<_>>(),
     ));
     let active = Rc::new(std::cell::Cell::new(0usize));
     let mut store = MultiCacheStore {

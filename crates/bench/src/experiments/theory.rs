@@ -53,9 +53,18 @@ pub fn table1(n: usize) -> bool {
     let t22 = check_theorem_2_2(&SumSpec, &init);
     let tg = check_table1_g(&SumSpec, &init);
     println!("verified on n={n}, full Σ, order-revealing f:");
-    println!("  Theorem 2.1 (same update set, each once, increasing k): {:?}", t21.is_ok());
-    println!("  Theorem 2.2 (F's operand states = π/δ):                {:?}", t22.is_ok());
-    println!("  Table 1 column G (iterative states):                   {:?}", tg.is_ok());
+    println!(
+        "  Theorem 2.1 (same update set, each once, increasing k): {:?}",
+        t21.is_ok()
+    );
+    println!(
+        "  Theorem 2.2 (F's operand states = π/δ):                {:?}",
+        t22.is_ok()
+    );
+    println!(
+        "  Table 1 column G (iterative states):                   {:?}",
+        tg.is_ok()
+    );
     t21.is_ok() && t22.is_ok() && tg.is_ok()
 }
 
@@ -85,23 +94,47 @@ pub fn table2() {
 }
 
 /// §3: evaluates the span recurrences and the predicted `T₁/p + T∞`
-/// speedups (the analytic side of Figure 12).
-pub fn span_report(n: usize) {
-    let rows: Vec<Vec<String>> = (0..=n.trailing_zeros())
+/// speedups (the analytic side of Figure 12), then cross-checks the
+/// recurrences against a *recorded* A/B/C/D execution.
+///
+/// Returns `(n, span_full, span_simple, span_mm, work)` rows and whether
+/// the live cross-check passed.
+pub fn span_report(n: usize) -> (Vec<(usize, u64, u64, u64, u64)>, bool) {
+    let out: Vec<(usize, u64, u64, u64, u64)> = (0..=n.trailing_zeros())
         .map(|q| {
             let m = 1usize << q;
+            (
+                m,
+                // u128 recurrence values; far below u64::MAX at any
+                // reportable n (work(2^13) = 2^39).
+                span::span_full(m) as u64,
+                span::span_simple(m) as u64,
+                span::span_mm(m) as u64,
+                span::work_full_sigma(m) as u64,
+            )
+        })
+        .collect();
+    let rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|&(m, sf, ss, smm, w)| {
             vec![
                 m.to_string(),
-                span::span_full(m).to_string(),
-                span::span_simple(m).to_string(),
-                span::span_mm(m).to_string(),
-                span::work_full_sigma(m).to_string(),
+                sf.to_string(),
+                ss.to_string(),
+                smm.to_string(),
+                w.to_string(),
             ]
         })
         .collect();
     print_table(
         "Section 3: span recurrences (units: base-case updates / recursion steps)",
-        &["n", "T∞ A/B/C/D (Θ(n log² n))", "T∞ naive (Θ(n^2.585))", "T∞ MM (Θ(n))", "work T₁"],
+        &[
+            "n",
+            "T∞ A/B/C/D (Θ(n log² n))",
+            "T∞ naive (Θ(n^2.585))",
+            "T∞ MM (Θ(n))",
+            "work T₁",
+        ],
         &rows,
     );
     let rows: Vec<Vec<String>> = [1usize, 2, 4, 8, 16]
@@ -117,6 +150,50 @@ pub fn span_report(n: usize) {
         &["p", "speedup"],
         &rows,
     );
+    (out, span_live_check(64, 1))
+}
+
+/// Runs optimised I-GEP (the Figure 6 A/B/C/D engine) under the recorder
+/// and compares the observed invocation counts against the §3 recurrences
+/// evaluated by `gep_parallel::span`. Returns true when everything
+/// matches (recursion kinds, base cases, and the full-Σ n³ update total).
+pub fn span_live_check(n: usize, base: usize) -> bool {
+    gep_obs::install(gep_obs::Recorder::counters_only());
+    let mut c = Matrix::from_fn(n, n, |i, j| (i * n + j) as i64 + 1);
+    gep_core::igep_opt(&SumSpec, &mut c, base);
+    let rec = gep_obs::take().expect("recorder was installed");
+    let want = span::abcd_counts_full(n, base);
+    let checks: Vec<(&str, u64, u64)> = vec![
+        ("A calls", rec.counter("abcd.a.calls"), want.a),
+        ("B calls", rec.counter("abcd.b.calls"), want.b),
+        ("C calls", rec.counter("abcd.c.calls"), want.c),
+        ("D calls", rec.counter("abcd.d.calls"), want.d),
+        (
+            "base cases",
+            rec.counter("abcd.base_cases"),
+            span::base_cases_full(n, base),
+        ),
+        ("updates", rec.counter("abcd.updates"), (n * n * n) as u64),
+    ];
+    let rows: Vec<Vec<String>> = checks
+        .iter()
+        .map(|&(what, got, expected)| {
+            vec![
+                what.to_string(),
+                got.to_string(),
+                expected.to_string(),
+                if got == expected { "ok" } else { "MISMATCH" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("live cross-check: recorded A/B/C/D run vs §3 recurrences (n={n}, base {base})"),
+        &["quantity", "recorded", "predicted", ""],
+        &rows,
+    );
+    let ok = checks.iter().all(|&(_, got, expected)| got == expected);
+    println!("live cross-check: {}", if ok { "PASS" } else { "FAIL" });
+    ok
 }
 
 /// §2.2.2: measured peak live snapshots of reduced-space C-GEP vs the
@@ -142,7 +219,14 @@ pub fn space_report(sizes: &[usize]) -> Vec<(usize, usize, usize)> {
     }
     print_table(
         "Section 2.2.2: reduced-space C-GEP — peak live snapshots vs the paper's n²+n",
-        &["n", "peak live", "n²+n", "ratio", "copy-on-destroy saves", "reads from live cell"],
+        &[
+            "n",
+            "peak live",
+            "n²+n",
+            "ratio",
+            "copy-on-destroy saves",
+            "reads from live cell",
+        ],
         &rows,
     );
     out

@@ -1,0 +1,80 @@
+//! Machine-readable result emission for the `repro` driver.
+//!
+//! With `--json`, each experiment writes a `BENCH_<experiment>.json`
+//! file (schema: [`gep_obs::bench`]) into [`OUT_DIR`]; `repro validate`
+//! re-parses and schema-checks every such file, so CI can reject
+//! malformed output before archiving it.
+
+use gep_obs::{BenchDoc, Json};
+use std::path::{Path, PathBuf};
+
+/// Directory (relative to the working directory) receiving the
+/// `BENCH_*.json` files.
+pub const OUT_DIR: &str = "bench_json";
+
+/// The default output directory as a path.
+pub fn out_dir() -> PathBuf {
+    PathBuf::from(OUT_DIR)
+}
+
+/// Writes `doc` into [`OUT_DIR`], printing the path (or the error —
+/// emission failure must not abort the measurement run).
+pub fn emit(doc: &BenchDoc) {
+    match doc.write_to(&out_dir()) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("error: could not write {}: {e}", doc.filename()),
+    }
+}
+
+/// Parses and schema-checks every `BENCH_*.json` under `dir`. Returns the
+/// number of valid files, or a message naming the first offender.
+pub fn validate_all(dir: &Path) -> Result<usize, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|f| f.to_str())
+                .is_some_and(|f| f.starts_with("BENCH_") && f.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no BENCH_*.json files in {}", dir.display()));
+    }
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        gep_obs::bench::validate(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("ok {}", path.display());
+    }
+    Ok(paths.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_all_accepts_emitted_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join("gep_bench_jsonout_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut doc = BenchDoc::new("jsonout_test", "test doc", true);
+        doc.row(vec![("n", Json::Int(8))]);
+        doc.write_to(&dir).expect("write");
+        assert_eq!(validate_all(&dir), Ok(1));
+        std::fs::write(dir.join("BENCH_broken.json"), "{not json").unwrap();
+        assert!(validate_all(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_all_requires_at_least_one_file() {
+        let dir = std::env::temp_dir().join("gep_bench_jsonout_empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(validate_all(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

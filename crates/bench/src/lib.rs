@@ -23,6 +23,7 @@
 //! | `lemma31` | Lemma 3.1(b) — distributed-cache deterministic schedule |
 
 pub mod experiments;
+pub mod jsonout;
 pub mod util;
 pub mod workloads;
 

@@ -82,10 +82,7 @@ mod tests {
     fn dd_matrix_is_dominant() {
         let m = dd_matrix(16, 9);
         for i in 0..16 {
-            let off: f64 = (0..16)
-                .filter(|&j| j != i)
-                .map(|j| m[(i, j)].abs())
-                .sum();
+            let off: f64 = (0..16).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
             assert!(m[(i, i)] > off);
         }
     }

@@ -29,6 +29,13 @@ impl Hierarchy {
     pub fn l2_stats(&self) -> CacheStats {
         self.l2.stats()
     }
+
+    /// Publishes both levels to the `gep_obs` recorder (if installed) as
+    /// `cache.<label>.l1.*` and `cache.<label>.l2.*` counter families.
+    pub fn publish(&self, label: &str) {
+        self.l1_stats().publish(&format!("{label}.l1"));
+        self.l2_stats().publish(&format!("{label}.l2"));
+    }
 }
 
 impl CacheModel for Hierarchy {

@@ -35,13 +35,16 @@ pub use setassoc::SetAssocCache;
 pub use tlb::Tlb;
 pub use tracked::{AddressSpace, SharedCache, TrackedMatrix};
 
-/// Hit/miss counters common to all cache models.
+/// Hit/miss/eviction counters common to all cache models.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: u64,
     /// Accesses that missed (block transfers from the next level).
     pub misses: u64,
+    /// Misses that displaced a resident block (`<= misses`; the
+    /// difference is cold misses into free frames).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -57,6 +60,17 @@ impl CacheStats {
         } else {
             self.misses as f64 / self.accesses() as f64
         }
+    }
+
+    /// Publishes the counters to the `gep_obs` recorder (if one is
+    /// installed) under `cache.<label>.{hits,misses,evictions}`.
+    pub fn publish(&self, label: &str) {
+        if !gep_obs::enabled() {
+            return;
+        }
+        gep_obs::counter_add(&format!("cache.{label}.hits"), self.hits);
+        gep_obs::counter_add(&format!("cache.{label}.misses"), self.misses);
+        gep_obs::counter_add(&format!("cache.{label}.evictions"), self.evictions);
     }
 }
 
@@ -78,7 +92,11 @@ mod tests {
 
     #[test]
     fn stats_arithmetic() {
-        let s = CacheStats { hits: 3, misses: 1 };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
         assert_eq!(s.accesses(), 4);
         assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(CacheStats::default().miss_ratio(), 0.0);

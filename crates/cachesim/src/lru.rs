@@ -68,6 +68,7 @@ impl CacheModel for IdealCache {
                 let (&oldest, &victim) = self.by_age.iter().next().expect("non-empty");
                 self.by_age.remove(&oldest);
                 self.resident.remove(&victim);
+                self.stats.evictions += 1;
             }
             self.resident.insert(block, self.clock);
             self.by_age.insert(self.clock, block);
@@ -104,7 +105,14 @@ mod tests {
         assert!(c.access(0));
         assert!(c.access(63)); // same block
         assert!(!c.access(64)); // next block
-        assert_eq!(c.stats(), CacheStats { hits: 2, misses: 2 });
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 2,
+                evictions: 0,
+            }
+        );
     }
 
     #[test]
@@ -126,6 +134,8 @@ mod tests {
         }
         assert_eq!(c.resident_blocks(), 8);
         assert_eq!(c.stats().misses, 100);
+        // 8 cold misses fill the frames; every later miss evicts.
+        assert_eq!(c.stats().evictions, 92);
     }
 
     #[test]

@@ -68,6 +68,9 @@ impl CacheModel for SetAssocCache {
             .iter_mut()
             .min_by_key(|l| if l.0 == u64::MAX { 0 } else { l.1 })
             .expect("ways > 0");
+        if victim.0 != u64::MAX {
+            self.stats.evictions += 1;
+        }
         *victim = (tag, self.clock);
         self.stats.misses += 1;
         false
@@ -125,6 +128,8 @@ mod tests {
             c.access(b);
         }
         assert_eq!(c.stats().hits, 0, "direct-mapped ping-pong never hits");
+        // First fill of set 0 is a cold miss; the other 19 misses evict.
+        assert_eq!(c.stats().evictions, 19);
         // The fully associative cache of the same size has no problem.
         let mut fa = IdealCache::new(4 * 64, 64);
         for _ in 0..10 {

@@ -81,8 +81,14 @@ where
 /// touches: the box itself plus the panels `c[xr.., kk..]`, `c[kk.., xc..]`
 /// and `c[kk.., kk..]` (shared reads among concurrent kernels are allowed
 /// only for cells none of them writes).
-pub unsafe fn generic_kernel<S>(spec: &S, m: GepMat<'_, S::Elem>, xr: usize, xc: usize, kk: usize, s: usize)
-where
+pub unsafe fn generic_kernel<S>(
+    spec: &S,
+    m: GepMat<'_, S::Elem>,
+    xr: usize,
+    xc: usize,
+    kk: usize,
+    s: usize,
+) where
     S: GepSpec,
 {
     for k in kk..kk + s {
@@ -112,6 +118,24 @@ fn pruned<S: GepSpec>(spec: &S, xr: usize, xc: usize, kk: usize, s: usize) -> bo
     !spec.sigma_intersects((xr, xr + s - 1), (xc, xc + s - 1), (kk, kk + s - 1))
 }
 
+/// Observability accounting for one base-case kernel invocation. The
+/// Σ-count scan is O(s³), hence the [`gep_obs::enabled`] gate.
+#[inline]
+fn record_base_case<S: GepSpec>(spec: &S, xr: usize, xc: usize, kk: usize, s: usize) {
+    if gep_obs::enabled() {
+        gep_obs::counter_add("abcd.base_cases", 1);
+        gep_obs::counter_add(
+            "abcd.updates",
+            crate::iterative::sigma_count_box(
+                spec,
+                (xr, xr + s - 1),
+                (xc, xc + s - 1),
+                (kk, kk + s - 1),
+            ),
+        );
+    }
+}
+
 /// `A` — all of `X`, `U`, `V`, `W` coincide (`xr == xc == kk`).
 ///
 /// # Safety
@@ -134,7 +158,14 @@ pub unsafe fn fn_a<S, J>(
     if pruned(spec, xr, xc, kk, s) {
         return;
     }
+    gep_obs::counter_add("abcd.a.calls", 1);
+    let _span = gep_obs::span("A", "abcd")
+        .arg("xr", xr as i64)
+        .arg("xc", xc as i64)
+        .arg("kk", kk as i64)
+        .arg("s", s as i64);
     if s <= base {
+        record_base_case(spec, xr, xc, kk, s);
         spec.kernel(m, xr, xc, kk, s);
         return;
     }
@@ -181,7 +212,14 @@ pub unsafe fn fn_b<S, J>(
     if pruned(spec, xr, xc, kk, s) {
         return;
     }
+    gep_obs::counter_add("abcd.b.calls", 1);
+    let _span = gep_obs::span("B", "abcd")
+        .arg("xr", xr as i64)
+        .arg("xc", xc as i64)
+        .arg("kk", kk as i64)
+        .arg("s", s as i64);
     if s <= base {
+        record_base_case(spec, xr, xc, kk, s);
         spec.kernel(m, xr, xc, kk, s);
         return;
     }
@@ -232,7 +270,14 @@ pub unsafe fn fn_c<S, J>(
     if pruned(spec, xr, xc, kk, s) {
         return;
     }
+    gep_obs::counter_add("abcd.c.calls", 1);
+    let _span = gep_obs::span("C", "abcd")
+        .arg("xr", xr as i64)
+        .arg("xc", xc as i64)
+        .arg("kk", kk as i64)
+        .arg("s", s as i64);
     if s <= base {
+        record_base_case(spec, xr, xc, kk, s);
         spec.kernel(m, xr, xc, kk, s);
         return;
     }
@@ -277,7 +322,14 @@ pub unsafe fn fn_d<S, J>(
     if pruned(spec, xr, xc, kk, s) {
         return;
     }
+    gep_obs::counter_add("abcd.d.calls", 1);
+    let _span = gep_obs::span("D", "abcd")
+        .arg("xr", xr as i64)
+        .arg("xc", xc as i64)
+        .arg("kk", kk as i64)
+        .arg("s", s as i64);
     if s <= base {
+        record_base_case(spec, xr, xc, kk, s);
         spec.kernel(m, xr, xc, kk, s);
         return;
     }
@@ -403,7 +455,11 @@ mod tests {
         // (child kind per Figure 5, row = parent kind), forward then
         // backward pass, in our bodies' call order.
         fn walk(kind: Kind, xr: usize, xc: usize, kk: usize, s: usize) {
-            assert_eq!(classify(xr, xc, kk), kind, "precondition at ({xr},{xc},{kk})");
+            assert_eq!(
+                classify(xr, xc, kk),
+                kind,
+                "precondition at ({xr},{xc},{kk})"
+            );
             if s == 1 {
                 return;
             }

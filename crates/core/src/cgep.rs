@@ -42,7 +42,9 @@ where
     let mut u1 = c.clone();
     let mut v0 = c.clone();
     let mut v1 = c.clone();
-    cgep_full_with(spec, c, &mut u0, &mut u1, &mut v0, &mut v1, base_size, false);
+    cgep_full_with(
+        spec, c, &mut u0, &mut u1, &mut v0, &mut v1, base_size, false,
+    );
 }
 
 /// Runs C-GEP with caller-provided snapshot stores (so they can live
@@ -158,7 +160,25 @@ impl<S: GepSpec> Env<'_, S> {
         {
             return;
         }
+        gep_obs::counter_add("cgep.calls", 1);
+        let _span = gep_obs::span("H", "cgep")
+            .arg("i0", i0 as i64)
+            .arg("j0", j0 as i64)
+            .arg("k0", k0 as i64)
+            .arg("s", s as i64);
         if s <= self.base {
+            if gep_obs::enabled() {
+                gep_obs::counter_add("cgep.base_cases", 1);
+                gep_obs::counter_add(
+                    "cgep.updates",
+                    crate::iterative::sigma_count_box(
+                        self.spec,
+                        (i0, i0 + s - 1),
+                        (j0, j0 + s - 1),
+                        (k0, k0 + s - 1),
+                    ),
+                );
+            }
             // Iterative base-case kernel with snapshot bookkeeping
             // (k-major order, as in G).
             for k in k0..k0 + s {
@@ -314,7 +334,9 @@ mod tests {
         let mut u1 = init.clone();
         let mut v0 = init.clone();
         let mut v1 = init.clone();
-        cgep_full_with(&SumSpec, &mut c, &mut u0, &mut u1, &mut v0, &mut v1, 2, false);
+        cgep_full_with(
+            &SumSpec, &mut c, &mut u0, &mut u1, &mut v0, &mut v1, 2, false,
+        );
         let mut g = init.clone();
         gep_iterative(&SumSpec, &mut g);
         assert_eq!(c, g);
@@ -329,7 +351,9 @@ mod tests {
         let mut u1 = Matrix::square(4, -99i64);
         let mut v0 = Matrix::square(4, -99i64);
         let mut v1 = Matrix::square(4, -99i64);
-        cgep_full_with(&SumSpec, &mut c, &mut u0, &mut u1, &mut v0, &mut v1, 1, true);
+        cgep_full_with(
+            &SumSpec, &mut c, &mut u0, &mut u1, &mut v0, &mut v1, 1, true,
+        );
         let mut g = init.clone();
         gep_iterative(&SumSpec, &mut g);
         assert_eq!(c, g);

@@ -321,6 +321,12 @@ where
         n * n + n,
         dump_sigma(spec, n)
     );
+    if gep_obs::enabled() {
+        gep_obs::counter_add("cgep_reduced.saves", env.snaps.saves);
+        gep_obs::counter_add("cgep_reduced.snapshot_reads", env.snaps.reads);
+        gep_obs::counter_add("cgep_reduced.reads_from_cell", env.snaps.reads_from_cell);
+        gep_obs::gauge_set("cgep_reduced.peak_live_snapshots", env.snaps.peak as f64);
+    }
     ReducedSpaceStats {
         peak_live_snapshots: env.snaps.peak,
         saves: env.snaps.saves,
@@ -349,28 +355,15 @@ struct Env<'s, S: GepSpec> {
 
 impl<S: GepSpec> Env<'_, S> {
     #[inline]
-    fn apply<St: CellStore<S::Elem> + ?Sized>(
-        &mut self,
-        c: &mut St,
-        i: usize,
-        j: usize,
-        k: usize,
-    ) {
+    fn apply<St: CellStore<S::Elem> + ?Sized>(&mut self, c: &mut St, i: usize, j: usize, k: usize) {
         let spec = self.snaps.spec;
         let n = self.snaps.n;
         let x = c.read(i, j);
-        let u = self
+        let u = self.snaps.consume(c, if j > k { U1 } else { U0 }, i, k);
+        let v = self.snaps.consume(c, if i > k { V1 } else { V0 }, k, j);
+        let w = self
             .snaps
-            .consume(c, if j > k { U1 } else { U0 }, i, k);
-        let v = self
-            .snaps
-            .consume(c, if i > k { V1 } else { V0 }, k, j);
-        let w = self.snaps.consume(
-            c,
-            if i > k || (i == k && j > k) { U1 } else { U0 },
-            k,
-            k,
-        );
+            .consume(c, if i > k || (i == k && j > k) { U1 } else { U0 }, k, k);
         let nv = spec.update(i, j, k, x, u, v, w);
         // This write destroys the state "after tau(i, j, k-1)" of (i, j);
         // copy it out for any slot that still needs it.
@@ -394,7 +387,25 @@ impl<S: GepSpec> Env<'_, S> {
         {
             return;
         }
+        gep_obs::counter_add("cgep_reduced.calls", 1);
+        let _span = gep_obs::span("H", "cgep_reduced")
+            .arg("i0", i0 as i64)
+            .arg("j0", j0 as i64)
+            .arg("k0", k0 as i64)
+            .arg("s", s as i64);
         if s <= self.base {
+            if gep_obs::enabled() {
+                gep_obs::counter_add("cgep_reduced.base_cases", 1);
+                gep_obs::counter_add(
+                    "cgep_reduced.updates",
+                    crate::iterative::sigma_count_box(
+                        self.snaps.spec,
+                        (i0, i0 + s - 1),
+                        (j0, j0 + s - 1),
+                        (k0, k0 + s - 1),
+                    ),
+                );
+            }
             for k in k0..k0 + s {
                 for i in i0..i0 + s {
                     for j in j0..j0 + s {

@@ -74,10 +74,34 @@ where
     if !spec.sigma_intersects((i0, i0 + s - 1), (j0, j0 + s - 1), (k0, k0 + s - 1)) {
         return;
     }
+    gep_obs::counter_add("igep.calls", 1);
+    let _span = gep_obs::span("F", "igep")
+        .arg("i0", i0 as i64)
+        .arg("j0", j0 as i64)
+        .arg("k0", k0 as i64)
+        .arg("s", s as i64);
     if s <= base {
         // Line 2 generalised: iterative kernel on the box (for s = 1 this
         // is exactly the paper's base case).
-        gep_iterative_box(spec, c, (i0, i0 + s - 1), (j0, j0 + s - 1), (k0, k0 + s - 1));
+        if gep_obs::enabled() {
+            gep_obs::counter_add("igep.base_cases", 1);
+            gep_obs::counter_add(
+                "igep.updates",
+                crate::iterative::sigma_count_box(
+                    spec,
+                    (i0, i0 + s - 1),
+                    (j0, j0 + s - 1),
+                    (k0, k0 + s - 1),
+                ),
+            );
+        }
+        gep_iterative_box(
+            spec,
+            c,
+            (i0, i0 + s - 1),
+            (j0, j0 + s - 1),
+            (k0, k0 + s - 1),
+        );
         return;
     }
     let h = s / 2;

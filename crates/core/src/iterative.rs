@@ -67,6 +67,35 @@ pub fn gep_iterative_box<S, St>(
     }
 }
 
+/// Number of updates `⟨i, j, k⟩ ∈ Σ` inside the inclusive box — what the
+/// base-case kernel above will apply there.
+///
+/// Observability helper: the recursive engines report this per base case
+/// when a recorder is installed (the `*.updates` counters), and the golden
+/// tests check the totals against `n³` for full Σ. O(s³) per call, so the
+/// engines gate it on [`gep_obs::enabled`].
+pub fn sigma_count_box<S>(
+    spec: &S,
+    ib: (usize, usize),
+    jb: (usize, usize),
+    kb: (usize, usize),
+) -> u64
+where
+    S: GepSpec,
+{
+    let mut count = 0u64;
+    for k in kb.0..=kb.1 {
+        for i in ib.0..=ib.1 {
+            for j in jb.0..=jb.1 {
+                if spec.in_sigma(i, j, k) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +131,18 @@ mod tests {
         let mut c = init.clone();
         gep_iterative(&spec, &mut c);
         assert_eq!(c, init);
+    }
+
+    #[test]
+    fn sigma_count_counts_triples_in_box() {
+        assert_eq!(sigma_count_box(&SumSpec, (0, 3), (0, 3), (0, 3)), 64);
+        assert_eq!(sigma_count_box(&SumSpec, (1, 2), (0, 3), (2, 2)), 8);
+        let spec = crate::spec::ClosureSpec::new(
+            |_, _, _, x: i64, _, _, _| x,
+            crate::spec::ExplicitSet::from_iter([(0, 1, 1), (1, 1, 1)]),
+        );
+        assert_eq!(sigma_count_box(&spec, (0, 1), (0, 1), (0, 1)), 2);
+        assert_eq!(sigma_count_box(&spec, (0, 0), (0, 0), (0, 0)), 0);
     }
 
     #[test]

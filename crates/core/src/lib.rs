@@ -72,9 +72,9 @@ pub use cgep::{cgep_full, cgep_full_with};
 pub use cgep_reduced::{cgep_reduced, ReducedSpaceStats};
 pub use gepmat::GepMat;
 pub use igep::{igep, igep_box};
-pub use legality::{check_igep_legality, Legality};
 pub use iterative::gep_iterative;
 pub use joiner::{Joiner, Serial};
+pub use legality::{check_igep_legality, Legality};
 pub use spec::{ClosureSpec, ExplicitSet, GepSpec, SumSpec};
 pub use store::CellStore;
 pub use verify::{diff_engine, diff_engines, DiffReport, Divergence, Engine, TraceSpec};

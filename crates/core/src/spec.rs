@@ -41,12 +41,7 @@ pub trait GepSpec {
     /// This is the test of line 1 of Figures 2/3 (`T ∩ Σ_G = ∅ ⇒ return`).
     /// The default `true` is always sound — it merely disables pruning.
     /// Structured sets should override with an exact (or superset) test.
-    fn sigma_intersects(
-        &self,
-        ib: (usize, usize),
-        jb: (usize, usize),
-        kb: (usize, usize),
-    ) -> bool {
+    fn sigma_intersects(&self, ib: (usize, usize), jb: (usize, usize), kb: (usize, usize)) -> bool {
         let _ = (ib, jb, kb);
         true
     }
@@ -112,12 +107,7 @@ impl<S: GepSpec> GepSpec for &S {
         (**self).in_sigma(i, j, k)
     }
     #[inline(always)]
-    fn sigma_intersects(
-        &self,
-        ib: (usize, usize),
-        jb: (usize, usize),
-        kb: (usize, usize),
-    ) -> bool {
+    fn sigma_intersects(&self, ib: (usize, usize), jb: (usize, usize), kb: (usize, usize)) -> bool {
         (**self).sigma_intersects(ib, jb, kb)
     }
     #[inline(always)]
@@ -218,9 +208,9 @@ impl ExplicitSet {
 
     /// Exact box-intersection test.
     pub fn intersects(&self, ib: (usize, usize), jb: (usize, usize), kb: (usize, usize)) -> bool {
-        self.set
-            .iter()
-            .any(|&(i, j, k)| ib.0 <= i && i <= ib.1 && jb.0 <= j && j <= jb.1 && kb.0 <= k && k <= kb.1)
+        self.set.iter().any(|&(i, j, k)| {
+            ib.0 <= i && i <= ib.1 && jb.0 <= j && j <= jb.1 && kb.0 <= k && k <= kb.1
+        })
     }
 }
 
@@ -262,12 +252,7 @@ where
     fn in_sigma(&self, i: usize, j: usize, k: usize) -> bool {
         self.sigma.contains(i, j, k)
     }
-    fn sigma_intersects(
-        &self,
-        ib: (usize, usize),
-        jb: (usize, usize),
-        kb: (usize, usize),
-    ) -> bool {
+    fn sigma_intersects(&self, ib: (usize, usize), jb: (usize, usize), kb: (usize, usize)) -> bool {
         self.sigma.intersects(ib, jb, kb)
     }
 }

@@ -77,12 +77,7 @@ impl<S: GepSpec> GepSpec for Recorder<'_, S> {
     fn in_sigma(&self, i: usize, j: usize, k: usize) -> bool {
         self.inner.in_sigma(i, j, k)
     }
-    fn sigma_intersects(
-        &self,
-        ib: (usize, usize),
-        jb: (usize, usize),
-        kb: (usize, usize),
-    ) -> bool {
+    fn sigma_intersects(&self, ib: (usize, usize), jb: (usize, usize), kb: (usize, usize)) -> bool {
         self.inner.sigma_intersects(ib, jb, kb)
     }
     fn tau(&self, n: usize, i: usize, j: usize, l: i64) -> Option<usize> {
@@ -198,16 +193,28 @@ pub fn check_theorem_2_2<S: GepSpec>(spec: &S, init: &Matrix<S::Elem>) -> Result
         let expect_v = table.state(k, j, pi_state(n, i, k));
         let expect_w = table.state(k, k, delta_state(n, i, j, k));
         if r.x != expect_x {
-            return Err(format!("⟨{i},{j},{k}⟩: x read {:?}, Thm2.2 expects {:?}", r.x, expect_x));
+            return Err(format!(
+                "⟨{i},{j},{k}⟩: x read {:?}, Thm2.2 expects {:?}",
+                r.x, expect_x
+            ));
         }
         if r.u != expect_u {
-            return Err(format!("⟨{i},{j},{k}⟩: u read {:?}, Thm2.2 expects {:?}", r.u, expect_u));
+            return Err(format!(
+                "⟨{i},{j},{k}⟩: u read {:?}, Thm2.2 expects {:?}",
+                r.u, expect_u
+            ));
         }
         if r.v != expect_v {
-            return Err(format!("⟨{i},{j},{k}⟩: v read {:?}, Thm2.2 expects {:?}", r.v, expect_v));
+            return Err(format!(
+                "⟨{i},{j},{k}⟩: v read {:?}, Thm2.2 expects {:?}",
+                r.v, expect_v
+            ));
         }
         if r.w != expect_w {
-            return Err(format!("⟨{i},{j},{k}⟩: w read {:?}, Thm2.2 expects {:?}", r.w, expect_w));
+            return Err(format!(
+                "⟨{i},{j},{k}⟩: w read {:?}, Thm2.2 expects {:?}",
+                r.w, expect_w
+            ));
         }
     }
     Ok(())

@@ -81,12 +81,7 @@ impl<S: GepSpec> GepSpec for TraceSpec<'_, S> {
     fn in_sigma(&self, i: usize, j: usize, k: usize) -> bool {
         self.inner.in_sigma(i, j, k)
     }
-    fn sigma_intersects(
-        &self,
-        ib: (usize, usize),
-        jb: (usize, usize),
-        kb: (usize, usize),
-    ) -> bool {
+    fn sigma_intersects(&self, ib: (usize, usize), jb: (usize, usize), kb: (usize, usize)) -> bool {
         self.inner.sigma_intersects(ib, jb, kb)
     }
     fn tau(&self, n: usize, i: usize, j: usize, l: i64) -> Option<usize> {
@@ -375,8 +370,7 @@ impl<T: fmt::Debug> fmt::Display for DiffReport<T> {
                         "  operand {} = c[{},{}]: got {:?}, G read {:?}",
                         d.operand, d.cell.0, d.cell.1, d.got, d.expected
                     )?;
-                    if let (Some(slot), Some(limit), Some(tau)) =
-                        (d.slot, d.slot_limit, d.save_tau)
+                    if let (Some(slot), Some(limit), Some(tau)) = (d.slot, d.slot_limit, d.save_tau)
                     {
                         write!(
                             f,
@@ -434,8 +428,7 @@ pub fn diff_engine<S: GepSpec>(
     };
     let e = run_traced(spec, init, engine, base_size);
 
-    let result_matches =
-        (0..n).all(|i| (0..n).all(|j| e.result[(i, j)] == g.result[(i, j)]));
+    let result_matches = (0..n).all(|i| (0..n).all(|j| e.result[(i, j)] == g.result[(i, j)]));
     let report = |d| DiffReport {
         engine: engine.name,
         fully_general: engine.fully_general,
@@ -629,11 +622,7 @@ pub fn minimize(
         // 1. Shrink n while Σ fits in the top-left half.
         while cur.n > 1 {
             let m = cur.n / 2;
-            if !cur
-                .sigma
-                .iter()
-                .all(|&(i, j, k)| i < m && j < m && k < m)
-            {
+            if !cur.sigma.iter().all(|&(i, j, k)| i < m && j < m && k < m) {
                 break;
             }
             let cand = AffineInstance {
@@ -655,11 +644,7 @@ pub fn minimize(
         // 2. Compact coordinates: remap the distinct index values used by
         // Σ onto 0..m (order-preserving) and keep only the matching rows
         // and columns of c₀, so the n-halving above can bite.
-        let mut used: Vec<usize> = cur
-            .sigma
-            .iter()
-            .flat_map(|&(i, j, k)| [i, j, k])
-            .collect();
+        let mut used: Vec<usize> = cur.sigma.iter().flat_map(|&(i, j, k)| [i, j, k]).collect();
         used.sort_unstable();
         used.dedup();
         if let Some(&top) = used.last() {
@@ -883,10 +868,10 @@ pub fn recorded_regression() -> AffineInstance {
         ],
         coeffs: (-1, -3, -3, -3),
         vals: vec![
-            -57, -34, -91, 59, -73, -68, -92, 2, -84, -58, -79, -90, -21, -14, -14, 90, 39,
-            -38, -53, 68, 19, 100, 83, 1, 83, -78, 19, -75, 78, 20, 75, 4, 29, -50, 58, 72,
-            100, 3, -55, 79, -33, -72, -15, -34, -38, 48, -47, -64, -75, 23, 4, 2, -52, 69,
-            62, 72, -15, -16, -59, -14, -28, -52, -17, 27,
+            -57, -34, -91, 59, -73, -68, -92, 2, -84, -58, -79, -90, -21, -14, -14, 90, 39, -38,
+            -53, 68, 19, 100, 83, 1, 83, -78, 19, -75, 78, 20, 75, 4, 29, -50, 58, 72, 100, 3, -55,
+            79, -33, -72, -15, -34, -38, 48, -47, -64, -75, 23, 4, 2, -52, 69, 62, 72, -15, -16,
+            -59, -14, -28, -52, -17, 27,
         ],
     }
 }
@@ -897,7 +882,11 @@ mod tests {
     use crate::spec::SumSpec;
 
     fn order_revealing(sigma: Vec<(usize, usize, usize)>) -> AffineInstance {
-        let n = sigma.iter().map(|&(i, j, k)| i.max(j).max(k) + 1).max().unwrap_or(1);
+        let n = sigma
+            .iter()
+            .map(|&(i, j, k)| i.max(j).max(k) + 1)
+            .max()
+            .unwrap_or(1);
         let n = n.next_power_of_two();
         AffineInstance {
             n,
@@ -931,7 +920,11 @@ mod tests {
         let rep = diff_engine(&SumSpec, &init, igep, 1);
         assert!(!rep.is_violation(), "igep is not fully general by design");
         match rep.divergence {
-            Some(Divergence::DivergentUpdate { update, ref operands, .. }) => {
+            Some(Divergence::DivergentUpdate {
+                update,
+                ref operands,
+                ..
+            }) => {
                 assert_eq!(update, (0, 0, 1));
                 assert!(!operands.is_empty());
             }
@@ -947,13 +940,19 @@ mod tests {
         let rep = diff_engine(&spec, &init, &buggy_engine(), 1);
         assert!(rep.is_violation(), "the planted bug must be detected");
         match rep.divergence {
-            Some(Divergence::DivergentUpdate { update, ref operands, .. }) => {
+            Some(Divergence::DivergentUpdate {
+                update,
+                ref operands,
+                ..
+            }) => {
                 let (i, _j, k) = update;
                 // The planted bracket bug only fires on diagonal-row
                 // updates <k, j, k>.
                 assert_eq!(i, k, "w-bracket bug fires on i == k");
-                assert!(operands.iter().any(|d| d.operand == "w"),
-                    "the diverging operand must be w");
+                assert!(
+                    operands.iter().any(|d| d.operand == "w"),
+                    "the diverging operand must be w"
+                );
             }
             ref d => panic!("expected DivergentUpdate, got {d:?}"),
         }

@@ -43,6 +43,20 @@ impl IoStats {
     pub fn transfers(&self) -> u64 {
         self.block_reads + self.block_writes
     }
+
+    /// Publishes the counters to the `gep_obs` recorder (if one is
+    /// installed) under `io.<label>.{block_reads,block_writes,seeks,bytes}`
+    /// plus the gauge `io.<label>.wait_s`.
+    pub fn publish(&self, label: &str) {
+        if !gep_obs::enabled() {
+            return;
+        }
+        gep_obs::counter_add(&format!("io.{label}.block_reads"), self.block_reads);
+        gep_obs::counter_add(&format!("io.{label}.block_writes"), self.block_writes);
+        gep_obs::counter_add(&format!("io.{label}.seeks"), self.seeks);
+        gep_obs::counter_add(&format!("io.{label}.bytes"), self.bytes);
+        gep_obs::gauge_set(&format!("io.{label}.wait_s"), self.wait_s);
+    }
 }
 
 /// A sparse simulated block device storing blocks of `block_elems`

@@ -28,7 +28,10 @@ impl<T: Copy> TiledMatrix<T> {
     /// # Panics
     /// Panics unless `n` and `tile` are powers of two with `tile <= n`.
     pub fn filled(n: usize, tile: usize, fill: T) -> Self {
-        assert!(is_pow2(n) && is_pow2(tile), "n and tile must be powers of 2");
+        assert!(
+            is_pow2(n) && is_pow2(tile),
+            "n and tile must be powers of 2"
+        );
         assert!(tile <= n, "tile must not exceed n");
         Self {
             n,

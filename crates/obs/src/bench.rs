@@ -1,0 +1,310 @@
+//! The `BENCH_<experiment>.json` schema.
+//!
+//! `repro -- all --json` writes one of these files per reproduced
+//! figure/table so the measured numbers (miss counts, simulated seconds,
+//! update counts) land somewhere machine-readable that future PRs can diff
+//! against. Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "experiment": "fig8",          // [A-Za-z0-9_.-]+, used in the filename
+//!   "title": "Figure 8: ...",
+//!   "quick": true,                 // was --quick passed?
+//!   "host": "optional free text",
+//!   "rows": [ { "n": 128, "gep_s": 0.01, ... }, ... ],
+//!   "counters": { "io.gep.seeks": 123, ... }   // optional
+//! }
+//! ```
+//!
+//! Rows are flat objects of scalars; each experiment chooses its own
+//! columns. [`validate`] enforces the envelope (not the per-experiment
+//! columns) and is run by `repro validate` in CI against every emitted
+//! file.
+
+use crate::json::Json;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Current schema version, written to and required of every file.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// Builder for one `BENCH_<experiment>.json` document.
+#[derive(Clone, Debug)]
+pub struct BenchDoc {
+    experiment: String,
+    title: String,
+    quick: bool,
+    host: Option<String>,
+    rows: Vec<Json>,
+    counters: Vec<(String, Json)>,
+}
+
+impl BenchDoc {
+    /// Starts a document. `experiment` must match `[A-Za-z0-9_.-]+` (it
+    /// becomes part of the filename).
+    pub fn new(experiment: &str, title: &str, quick: bool) -> Self {
+        assert!(
+            experiment_name_ok(experiment),
+            "bad experiment name {experiment:?}"
+        );
+        BenchDoc {
+            experiment: experiment.to_string(),
+            title: title.to_string(),
+            quick,
+            host: None,
+            rows: Vec::new(),
+            counters: Vec::new(),
+        }
+    }
+
+    /// Attaches free-text host information.
+    pub fn host(mut self, host: &str) -> Self {
+        self.host = Some(host.to_string());
+        self
+    }
+
+    /// Appends one row (a flat object).
+    pub fn row(&mut self, fields: Vec<(&str, Json)>) {
+        self.rows.push(Json::obj(fields));
+    }
+
+    /// Attaches a recorder counter (or any named scalar).
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.counters
+            .push((name.to_string(), Json::Int(value as i64)));
+    }
+
+    /// Number of rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The document as a JSON value (always valid per [`validate`]).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema_version", Json::Int(SCHEMA_VERSION)),
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("quick", Json::Bool(self.quick)),
+        ];
+        if let Some(h) = &self.host {
+            fields.push(("host", Json::Str(h.clone())));
+        }
+        fields.push(("rows", Json::Arr(self.rows.clone())));
+        if !self.counters.is_empty() {
+            fields.push(("counters", Json::Obj(self.counters.clone())));
+        }
+        Json::obj(fields)
+    }
+
+    /// Filename this document writes to: `BENCH_<experiment>.json`.
+    pub fn filename(&self) -> String {
+        format!("BENCH_{}.json", self.experiment)
+    }
+
+    /// Writes the document (pretty enough: one row per line) under `dir`,
+    /// creating the directory if needed. Returns the file path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.filename());
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(render(&self.to_json()).as_bytes())?;
+        Ok(path)
+    }
+}
+
+fn experiment_name_ok(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+/// Serializes with the top-level object and the rows array split across
+/// lines, so the files diff well; everything else stays compact.
+fn render(doc: &Json) -> String {
+    let mut out = String::new();
+    let Json::Obj(fields) = doc else {
+        doc.write_into(&mut out);
+        return out;
+    };
+    out.push_str("{\n");
+    for (idx, (k, v)) in fields.iter().enumerate() {
+        out.push_str("  ");
+        Json::Str(k.clone()).write_into(&mut out);
+        out.push_str(": ");
+        match (k.as_str(), v) {
+            ("rows", Json::Arr(rows)) => {
+                out.push_str("[\n");
+                for (ridx, row) in rows.iter().enumerate() {
+                    out.push_str("    ");
+                    row.write_into(&mut out);
+                    if ridx + 1 < rows.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str("  ]");
+            }
+            _ => v.write_into(&mut out),
+        }
+        if idx + 1 < fields.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// Validates the envelope of a parsed `BENCH_*.json` document.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    if !doc.is_obj() {
+        return Err("document is not a JSON object".into());
+    }
+    match doc.get("schema_version").and_then(Json::as_i64) {
+        Some(SCHEMA_VERSION) => {}
+        Some(v) => return Err(format!("schema_version {v} != {SCHEMA_VERSION}")),
+        None => return Err("missing integer schema_version".into()),
+    }
+    let experiment = doc
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("missing string experiment")?;
+    if !experiment_name_ok(experiment) {
+        return Err(format!("bad experiment name {experiment:?}"));
+    }
+    doc.get("title")
+        .and_then(Json::as_str)
+        .ok_or("missing string title")?;
+    doc.get("quick")
+        .and_then(Json::as_bool)
+        .ok_or("missing boolean quick")?;
+    if let Some(host) = doc.get("host") {
+        host.as_str().ok_or("host must be a string")?;
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing rows array")?;
+    for (idx, row) in rows.iter().enumerate() {
+        let Json::Obj(fields) = row else {
+            return Err(format!("rows[{idx}] is not an object"));
+        };
+        for (key, value) in fields {
+            match value {
+                Json::Int(_) | Json::Float(_) | Json::Str(_) | Json::Bool(_) | Json::Null => {}
+                _ => return Err(format!("rows[{idx}].{key} must be a scalar, got {value}")),
+            }
+        }
+    }
+    if let Some(counters) = doc.get("counters") {
+        let Json::Obj(fields) = counters else {
+            return Err("counters must be an object".into());
+        };
+        for (key, value) in fields {
+            if value.as_f64().is_none() {
+                return Err(format!("counters.{key} must be numeric, got {value}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchDoc {
+        let mut d = BenchDoc::new("fig8", "Figure 8: in-core FW", true).host("test host");
+        d.row(vec![
+            ("n", Json::Int(128)),
+            ("gep_s", Json::Float(0.5)),
+            ("igep_s", Json::Float(0.25)),
+        ]);
+        d.row(vec![("n", Json::Int(256)), ("gep_s", Json::Float(4.0))]);
+        d.counter("io.seeks", 17);
+        d
+    }
+
+    #[test]
+    fn builder_emits_valid_schema() {
+        let d = sample();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.filename(), "BENCH_fig8.json");
+        let doc = d.to_json();
+        validate(&doc).expect("builder output must validate");
+        let reparsed = Json::parse(&render(&doc)).expect("rendered output must parse");
+        assert_eq!(reparsed, doc);
+        validate(&reparsed).unwrap();
+    }
+
+    #[test]
+    fn write_to_roundtrips_on_disk() {
+        let dir = std::env::temp_dir().join("gep_obs_bench_test");
+        let path = sample().write_to(&dir).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let doc = Json::parse(&text).expect("parse");
+        validate(&doc).expect("validate");
+        assert_eq!(
+            doc.get("rows").unwrap().as_arr().unwrap()[0]
+                .get("n")
+                .unwrap()
+                .as_i64(),
+            Some(128)
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        let ok = sample().to_json();
+        validate(&ok).unwrap();
+        let cases: Vec<(&str, Json)> = vec![
+            ("not object", Json::Int(3)),
+            (
+                "wrong version",
+                Json::obj(vec![("schema_version", Json::Int(2))]),
+            ),
+            (
+                "rows not objects",
+                Json::obj(vec![
+                    ("schema_version", Json::Int(1)),
+                    ("experiment", Json::Str("x".into())),
+                    ("title", Json::Str("t".into())),
+                    ("quick", Json::Bool(false)),
+                    ("rows", Json::Arr(vec![Json::Int(1)])),
+                ]),
+            ),
+            (
+                "nested row value",
+                Json::obj(vec![
+                    ("schema_version", Json::Int(1)),
+                    ("experiment", Json::Str("x".into())),
+                    ("title", Json::Str("t".into())),
+                    ("quick", Json::Bool(false)),
+                    (
+                        "rows",
+                        Json::Arr(vec![Json::obj(vec![("v", Json::Arr(vec![]))])]),
+                    ),
+                ]),
+            ),
+        ];
+        for (label, doc) in cases {
+            assert!(validate(&doc).is_err(), "{label} should be rejected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad experiment name")]
+    fn bad_experiment_names_panic() {
+        let _ = BenchDoc::new("has space", "t", false);
+    }
+}

@@ -1,0 +1,197 @@
+//! Chrome trace-event export.
+//!
+//! Spans become `ph: "X"` ("complete") events in the [Trace Event
+//! Format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! understood by Perfetto (<https://ui.perfetto.dev>) and
+//! `chrome://tracing`. Timestamps and durations are microseconds
+//! (fractional — the recorder keeps nanoseconds).
+//!
+//! Rayon's work-stealing during `join` is strictly LIFO per OS thread, so
+//! the spans recorded on each thread always nest properly;
+//! [`check_well_nested`] verifies that invariant on an exported (or
+//! re-parsed) trace and is exercised by the golden tests.
+
+use crate::json::Json;
+use crate::recorder::Recorder;
+
+/// Converts nanoseconds to the trace format's microsecond unit.
+fn us(ns: u64) -> Json {
+    Json::Float(ns as f64 / 1000.0)
+}
+
+/// Exports a recording as a Chrome trace-event document. Counters and
+/// gauges ride along under `"counters"` / `"gauges"` (extra top-level keys
+/// are allowed by the format and ignored by viewers).
+pub fn chrome_trace(rec: &Recorder) -> Json {
+    let events: Vec<Json> = rec
+        .spans
+        .iter()
+        .map(|s| {
+            let args: Vec<(String, Json)> = s
+                .args
+                .iter()
+                .map(|(k, v)| (k.to_string(), Json::Int(*v)))
+                .chain(std::iter::once((
+                    "depth".to_string(),
+                    Json::Int(s.depth as i64),
+                )))
+                .collect();
+            Json::obj(vec![
+                ("name", Json::Str(s.name.to_string())),
+                ("cat", Json::Str(s.cat.to_string())),
+                ("ph", Json::Str("X".to_string())),
+                ("ts", us(s.start_ns)),
+                ("dur", us(s.dur_ns)),
+                ("pid", Json::Int(1)),
+                ("tid", Json::Int(s.tid as i64)),
+                ("args", Json::Obj(args)),
+            ])
+        })
+        .collect();
+    let counters = Json::Obj(
+        rec.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        rec.gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Float(*v)))
+            .collect(),
+    );
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ns".to_string())),
+        ("counters", counters),
+        ("gauges", gauges),
+    ])
+}
+
+/// [`chrome_trace`] serialized to a string, ready to write to a `.json`
+/// file and open in Perfetto.
+pub fn chrome_trace_string(rec: &Recorder) -> String {
+    chrome_trace(rec).to_string()
+}
+
+/// Checks that every pair of `ph: "X"` events on the same thread either
+/// nests or is disjoint (up to 1e-6 µs float slack). Returns the number of
+/// events checked.
+pub fn check_well_nested(doc: &Json) -> Result<usize, String> {
+    const EPS: f64 = 1e-6;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut by_tid: std::collections::BTreeMap<i64, Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
+    for (idx, ev) in events.iter().enumerate() {
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("event {idx}: missing tid"))?;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {idx}: missing ts"))?;
+        let dur = ev
+            .get("dur")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {idx}: missing dur"))?;
+        by_tid.entry(tid).or_default().push((ts, ts + dur));
+    }
+    let mut checked = 0usize;
+    for (tid, mut iv) in by_tid {
+        // Sort by start; for equal starts the longer interval is the parent.
+        iv.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap()
+                .then(b.1.partial_cmp(&a.1).unwrap())
+        });
+        let mut stack: Vec<(f64, f64)> = Vec::new();
+        for (start, end) in iv {
+            while let Some(&(_, top_end)) = stack.last() {
+                if start >= top_end - EPS {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(top_start, top_end)) = stack.last() {
+                if end > top_end + EPS || start < top_start - EPS {
+                    return Err(format!(
+                        "tid {tid}: interval [{start}, {end}] overlaps \
+                         [{top_start}, {top_end}] without nesting"
+                    ));
+                }
+            }
+            stack.push((start, end));
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(tid: i64, ts: f64, dur: f64) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str("t".into())),
+            ("ph", Json::Str("X".into())),
+            ("ts", Json::Float(ts)),
+            ("dur", Json::Float(dur)),
+            ("pid", Json::Int(1)),
+            ("tid", Json::Int(tid)),
+        ])
+    }
+
+    fn doc(events: Vec<Json>) -> Json {
+        Json::obj(vec![("traceEvents", Json::Arr(events))])
+    }
+
+    #[test]
+    fn accepts_nested_and_disjoint() {
+        let d = doc(vec![
+            event(0, 0.0, 10.0),
+            event(0, 1.0, 3.0),
+            event(0, 5.0, 5.0), // child ending exactly with parent
+            event(1, 2.0, 2.0),
+            event(1, 4.0, 2.0), // adjacent, disjoint
+        ]);
+        assert_eq!(check_well_nested(&d), Ok(5));
+    }
+
+    #[test]
+    fn rejects_partial_overlap() {
+        let d = doc(vec![event(0, 0.0, 10.0), event(0, 5.0, 10.0)]);
+        assert!(check_well_nested(&d).is_err());
+    }
+
+    #[test]
+    fn overlap_on_different_threads_is_fine() {
+        let d = doc(vec![event(0, 0.0, 10.0), event(1, 5.0, 10.0)]);
+        assert_eq!(check_well_nested(&d), Ok(2));
+    }
+
+    #[test]
+    fn export_parses_and_nests() {
+        let _g = crate::recorder::test_lock();
+        crate::recorder::install(crate::Recorder::new());
+        {
+            let _a = crate::span("A", "abcd").arg("s", 4);
+            let _b = crate::span("B", "abcd");
+        }
+        let rec = crate::recorder::take().unwrap();
+        let text = chrome_trace_string(&rec);
+        let doc = Json::parse(&text).expect("exported trace must parse");
+        assert_eq!(check_well_nested(&doc), Ok(2));
+        let ev = &doc.get("traceEvents").unwrap().as_arr().unwrap()[1];
+        assert_eq!(ev.get("name").unwrap().as_str(), Some("A"));
+        assert_eq!(ev.get("args").unwrap().get("s").unwrap().as_i64(), Some(4));
+    }
+}

@@ -1,0 +1,51 @@
+//! # gep-obs — observability for the GEP workspace
+//!
+//! A zero-cost-when-disabled instrumentation layer shared by every crate in
+//! the workspace. The paper's evaluation (Section 4, Figures 7–12) is built
+//! on *observed* quantities — cache misses, I/O wait, recursion structure —
+//! and this crate is how the engines report them:
+//!
+//! * [`recorder`] — a process-global [`Recorder`] of **counters** (monotonic
+//!   `u64` sums), **gauges** (last-write-wins `f64` values) and hierarchical
+//!   **spans** (timed intervals forming the A/B/C/D call tree). When no
+//!   recorder is installed every hook is a single relaxed atomic load, so
+//!   the hot recursive engines pay nothing in the default configuration.
+//! * [`json`] — a small self-contained JSON value type, writer and parser
+//!   (the workspace deliberately has no serde_json dependency).
+//! * [`chrome`] — exports recorded spans as Chrome trace-event JSON,
+//!   loadable in Perfetto / `chrome://tracing`, plus a well-nestedness
+//!   checker used by the golden tests.
+//! * [`summary`] — a human-readable summary table of a recording.
+//! * [`bench`] — the `BENCH_<experiment>.json` schema written by
+//!   `repro -- all --json`: one machine-readable file per reproduced
+//!   figure/table, with a validator so CI can reject malformed output.
+//!
+//! ## Usage
+//!
+//! ```
+//! gep_obs::install(gep_obs::Recorder::new());
+//! {
+//!     let _span = gep_obs::span("F", "igep").arg("s", 8);
+//!     gep_obs::counter_add("igep.calls", 1);
+//! }
+//! let rec = gep_obs::take().unwrap();
+//! assert_eq!(rec.counter("igep.calls"), 1);
+//! assert_eq!(rec.spans.len(), 1);
+//! ```
+//!
+//! See `docs/OBSERVABILITY.md` for the full tour.
+
+pub mod bench;
+pub mod chrome;
+pub mod json;
+pub mod recorder;
+pub mod summary;
+
+pub use bench::BenchDoc;
+pub use chrome::{check_well_nested, chrome_trace, chrome_trace_string};
+pub use json::Json;
+pub use recorder::{
+    counter_add, enabled, gauge_set, install, span, spans_enabled, take, Recorder, SpanGuard,
+    SpanRecord,
+};
+pub use summary::summary;

@@ -1,0 +1,318 @@
+//! The process-global recorder: counters, gauges and hierarchical spans.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** With no recorder installed (the default),
+//!    [`counter_add`], [`gauge_set`] and [`span`] each reduce to one relaxed
+//!    atomic load and an early return. The recursive engines in `gep-core`
+//!    keep their instrumentation unconditionally in place and rely on this.
+//! 2. **Safe under parallelism.** The rayon engines record from many worker
+//!    threads at once; the sink is a mutex-guarded accumulator and spans
+//!    carry a per-thread id so traces stay well-nested per thread (rayon's
+//!    work-stealing during `join` is strictly LIFO per OS thread).
+//! 3. **No dependencies.** Everything here is `std`.
+//!
+//! Deep recursions can produce millions of spans (I-GEP at base size 1 emits
+//! one span per recursive call), so span recording can be switched off
+//! independently of counters via [`Recorder::counters_only`].
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// One completed span: a timed interval on one thread, with integer
+/// arguments (coordinates, sizes, counts).
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Short name, e.g. the Figure 6 function kind `"A"`.
+    pub name: &'static str,
+    /// Category, e.g. the engine: `"abcd"`, `"igep"`, `"cgep"`.
+    pub cat: &'static str,
+    /// Recorder-assigned thread id (dense, starting at 0).
+    pub tid: u64,
+    /// Start time in nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth on the recording thread at open time.
+    pub depth: usize,
+    /// Integer arguments attached with [`SpanGuard::arg`].
+    pub args: Vec<(&'static str, i64)>,
+}
+
+/// An in-memory recording. Install with [`install`], retrieve with
+/// [`take`].
+#[derive(Debug)]
+pub struct Recorder {
+    epoch: Instant,
+    record_spans: bool,
+    /// Monotonic event counts, keyed by dotted name (`"abcd.a.calls"`).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins values (`"parallel.pool_threads"`).
+    pub gauges: BTreeMap<String, f64>,
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Recorder {
+    /// A fresh recorder that records counters, gauges and spans.
+    pub fn new() -> Self {
+        Recorder {
+            epoch: Instant::now(),
+            record_spans: true,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// A recorder with span recording off — counters and gauges only.
+    /// Use for deep recursions (e.g. base size 1) where per-call spans
+    /// would cost gigabytes.
+    pub fn counters_only() -> Self {
+        Recorder {
+            record_spans: false,
+            ..Recorder::new()
+        }
+    }
+
+    /// Value of a counter, or 0 if it was never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of a gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SPANS_ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Recorder>> = Mutex::new(None);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn sink() -> std::sync::MutexGuard<'static, Option<Recorder>> {
+    SINK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// True iff a recorder is installed. Instrumented code may use this to
+/// gate work that is expensive even without recording (e.g. counting
+/// Σ-triples in a base-case box).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// True iff the installed recorder also records spans.
+#[inline]
+pub fn spans_enabled() -> bool {
+    SPANS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `r` as the process-global recorder, replacing (and dropping)
+/// any previous one. Concurrent engines immediately start recording into
+/// it.
+pub fn install(r: Recorder) {
+    let record_spans = r.record_spans;
+    *sink() = Some(r);
+    SPANS_ENABLED.store(record_spans, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stops recording and returns the recorder, if one was installed.
+/// Spans still open on other threads are discarded when they close.
+pub fn take() -> Option<Recorder> {
+    ENABLED.store(false, Ordering::SeqCst);
+    SPANS_ENABLED.store(false, Ordering::SeqCst);
+    sink().take()
+}
+
+/// Adds `delta` to the named counter. No-op when disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(r) = sink().as_mut() {
+        let c = r.counters.entry(name.to_string()).or_insert(0);
+        *c = c.wrapping_add(delta);
+    }
+}
+
+/// Sets the named gauge. No-op when disabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(r) = sink().as_mut() {
+        r.gauges.insert(name.to_string(), value);
+    }
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+    depth: usize,
+    args: Vec<(&'static str, i64)>,
+}
+
+/// RAII guard returned by [`span`]; the span closes when the guard drops.
+/// All methods are no-ops when recording is disabled.
+#[must_use = "the span closes when this guard drops"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+/// Opens a span. Returns an inert guard (one atomic load, no allocation)
+/// when span recording is disabled.
+pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
+    if !spans_enabled() {
+        return SpanGuard(None);
+    }
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    SpanGuard(Some(ActiveSpan {
+        name,
+        cat,
+        start: Instant::now(),
+        depth,
+        args: Vec::new(),
+    }))
+}
+
+impl SpanGuard {
+    /// Attaches an integer argument (builder-style).
+    pub fn arg(mut self, key: &'static str, value: i64) -> Self {
+        if let Some(a) = self.0.as_mut() {
+            a.args.push((key, value));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.0.take() else { return };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let end = Instant::now();
+        let tid = TID.with(|t| *t);
+        if let Some(r) = sink().as_mut() {
+            // `duration_since` saturates to zero for pre-epoch instants.
+            let start_ns = a.start.duration_since(r.epoch).as_nanos() as u64;
+            let dur_ns = end.duration_since(a.start).as_nanos() as u64;
+            r.spans.push(SpanRecord {
+                name: a.name,
+                cat: a.cat,
+                tid,
+                start_ns,
+                dur_ns,
+                depth: a.depth,
+                args: a.args,
+            });
+        }
+    }
+}
+
+/// Serializes tests that touch the process-global recorder (used by this
+/// crate's own test modules; integration tests need their own lock).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        test_lock()
+    }
+
+    #[test]
+    fn disabled_hooks_are_noops() {
+        let _g = lock();
+        let _ = take(); // clear any leftover recorder
+        assert!(!enabled());
+        counter_add("x", 5);
+        gauge_set("g", 1.5);
+        let _s = span("a", "b").arg("k", 1);
+        drop(_s);
+        assert!(take().is_none());
+    }
+
+    #[test]
+    fn counters_gauges_spans_record() {
+        let _g = lock();
+        install(Recorder::new());
+        counter_add("hits", 2);
+        counter_add("hits", 3);
+        gauge_set("threads", 4.0);
+        gauge_set("threads", 8.0);
+        {
+            let _outer = span("outer", "test").arg("n", 16);
+            let _inner = span("inner", "test");
+        }
+        let r = take().expect("recorder installed");
+        assert_eq!(r.counter("hits"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("threads"), Some(8.0));
+        assert_eq!(r.spans.len(), 2);
+        // Inner closes first; outer contains it and sits one level shallower.
+        let inner = &r.spans[0];
+        let outer = &r.spans[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.args, vec![("n", 16)]);
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+    }
+
+    #[test]
+    fn counters_only_skips_spans() {
+        let _g = lock();
+        install(Recorder::counters_only());
+        assert!(enabled());
+        assert!(!spans_enabled());
+        counter_add("c", 1);
+        let _s = span("a", "b");
+        drop(_s);
+        let r = take().unwrap();
+        assert_eq!(r.counter("c"), 1);
+        assert!(r.spans.is_empty());
+    }
+
+    #[test]
+    fn concurrent_counter_adds_sum() {
+        let _g = lock();
+        install(Recorder::counters_only());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        counter_add("par", 1);
+                    }
+                });
+            }
+        });
+        let r = take().unwrap();
+        assert_eq!(r.counter("par"), 4000);
+    }
+}

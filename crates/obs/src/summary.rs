@@ -1,0 +1,74 @@
+//! Human-readable summary of a recording.
+
+use crate::recorder::Recorder;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Formats counters, gauges and per-(category, name) span aggregates as a
+/// plain-text table.
+pub fn summary(rec: &Recorder) -> String {
+    let mut out = String::new();
+    if !rec.counters.is_empty() {
+        out.push_str("counters:\n");
+        let width = rec.counters.keys().map(String::len).max().unwrap_or(0);
+        for (name, value) in &rec.counters {
+            let _ = writeln!(out, "  {name:<width$}  {value}");
+        }
+    }
+    if !rec.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        let width = rec.gauges.keys().map(String::len).max().unwrap_or(0);
+        for (name, value) in &rec.gauges {
+            let _ = writeln!(out, "  {name:<width$}  {value}");
+        }
+    }
+    if !rec.spans.is_empty() {
+        // (cat, name) -> (count, total_ns, max_depth)
+        let mut agg: BTreeMap<(&str, &str), (u64, u64, usize)> = BTreeMap::new();
+        for s in &rec.spans {
+            let e = agg.entry((s.cat, s.name)).or_insert((0, 0, 0));
+            e.0 += 1;
+            e.1 += s.dur_ns;
+            e.2 = e.2.max(s.depth);
+        }
+        out.push_str("spans (cat.name: count, total ms, max depth):\n");
+        for ((cat, name), (count, total_ns, max_depth)) in agg {
+            let _ = writeln!(
+                out,
+                "  {cat}.{name}: {count} x, {:.3} ms, depth <= {max_depth}",
+                total_ns as f64 / 1e6
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(empty recording)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{counter_add, gauge_set, install, span, take, Recorder};
+
+    #[test]
+    fn summarizes_all_sections() {
+        let _g = crate::recorder::test_lock();
+        install(Recorder::new());
+        counter_add("igep.calls", 9);
+        gauge_set("threads", 4.0);
+        {
+            let _s = span("F", "igep");
+        }
+        let rec = take().unwrap();
+        let text = summary(&rec);
+        assert!(text.contains("igep.calls"));
+        assert!(text.contains("threads"));
+        assert!(text.contains("igep.F: 1 x"));
+    }
+
+    #[test]
+    fn empty_recording_is_explicit() {
+        assert_eq!(summary(&Recorder::new()), "(empty recording)\n");
+    }
+}

@@ -44,6 +44,10 @@ where
     }
     assert!(n.is_power_of_two(), "C-GEP needs a power-of-two side");
     assert!(base_size >= 1);
+    let _span = gep_obs::span("cgep_parallel", "parallel")
+        .arg("n", n as i64)
+        .arg("base", base_size as i64)
+        .arg("threads", rayon::current_num_threads() as i64);
     let mut u0 = c.clone();
     let mut u1 = c.clone();
     let mut v0 = c.clone();
@@ -67,10 +71,25 @@ where
 /// Caller guarantees exclusive write access to cell `(i, j)` of all five
 /// matrices and read stability of the panel cells.
 #[inline]
-unsafe fn apply<S: GepSpec>(spec: &S, m: Mats<'_, S::Elem>, n: usize, i: usize, j: usize, k: usize) {
+unsafe fn apply<S: GepSpec>(
+    spec: &S,
+    m: Mats<'_, S::Elem>,
+    n: usize,
+    i: usize,
+    j: usize,
+    k: usize,
+) {
     let x = m.c.get(i, j);
-    let u = if j > k { m.u1.get(i, k) } else { m.u0.get(i, k) };
-    let v = if i > k { m.v1.get(k, j) } else { m.v0.get(k, j) };
+    let u = if j > k {
+        m.u1.get(i, k)
+    } else {
+        m.u0.get(i, k)
+    };
+    let v = if i > k {
+        m.v1.get(k, j)
+    } else {
+        m.v0.get(k, j)
+    };
     let w = if i > k || (i == k && j > k) {
         m.u1.get(k, k)
     } else {

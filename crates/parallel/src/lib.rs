@@ -39,6 +39,7 @@ impl Joiner for RayonJoiner {
         A: FnOnce() -> RA + Send,
         B: FnOnce() -> RB + Send,
     {
+        gep_obs::counter_add("parallel.joins", 1);
         rayon::join(a, b)
     }
 }
@@ -56,6 +57,10 @@ pub fn igep_parallel<S>(spec: &S, c: &mut Matrix<S::Elem>, base_size: usize)
 where
     S: GepSpec + Sync,
 {
+    let _span = gep_obs::span("igep_parallel", "parallel")
+        .arg("n", c.n() as i64)
+        .arg("base", base_size as i64)
+        .arg("threads", rayon::current_num_threads() as i64);
     gep_core::abcd::igep_abcd(&RayonJoiner, spec, c, base_size);
 }
 
@@ -136,6 +141,7 @@ unsafe fn simple_rec<S>(
 /// # Panics
 /// Panics if the pool cannot be built.
 pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    gep_obs::gauge_set("parallel.pool_threads", threads as f64);
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()

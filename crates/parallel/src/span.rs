@@ -106,6 +106,141 @@ pub fn predicted_tp(n: usize, p: usize) -> u128 {
     work_full_sigma(n) / p as u128 + span_full(n)
 }
 
+/// Exact invocation counts of the four Figure 6 function kinds for a
+/// full-Σ A/B/C/D run (`igep_opt` / `igep_abcd`) at side `n` with
+/// base-case side `base`.
+///
+/// These are no longer only analytic: with a `gep_obs` recorder installed
+/// the engines report `abcd.{a,b,c,d}.calls` counters, and the golden
+/// tests check the recorded values against [`abcd_counts_full`] — the §3
+/// recurrences acting as a live cross-check on what the engines actually
+/// did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbcdCounts {
+    /// Invocations of `A` (all panels coincide).
+    pub a: u64,
+    /// Invocations of `B`.
+    pub b: u64,
+    /// Invocations of `C`.
+    pub c: u64,
+    /// Invocations of `D`.
+    pub d: u64,
+}
+
+impl AbcdCounts {
+    /// Total invocations across all four kinds.
+    pub fn total(self) -> u64 {
+        self.a + self.b + self.c + self.d
+    }
+}
+
+/// `x + scale·y`, component-wise.
+fn combine(x: AbcdCounts, y: AbcdCounts, scale: u64) -> AbcdCounts {
+    AbcdCounts {
+        a: x.a + scale * y.a,
+        b: x.b + scale * y.b,
+        c: x.c + scale * y.c,
+        d: x.d + scale * y.d,
+    }
+}
+
+/// Invocation counts for full Σ (no pruning), from the Figure 5/6 child
+/// tables:
+///
+/// ```text
+/// A(s) = self + 2·A(s/2) + 2·B(s/2) + 2·C(s/2) + 2·D(s/2)
+/// B(s) = self + 4·B(s/2) + 4·D(s/2)
+/// C(s) = self + 4·C(s/2) + 4·D(s/2)
+/// D(s) = self + 8·D(s/2)
+/// ```
+///
+/// with every kind bottoming out in a single (kernel) invocation at
+/// `s <= base`. The engine's root call is an `A`, so the result is the
+/// `A`-subtree count at size `n`.
+///
+/// # Panics
+/// Panics unless `n` is a power of two and `base >= 1`.
+pub fn abcd_counts_full(n: usize, base: usize) -> AbcdCounts {
+    assert!(n.is_power_of_two());
+    assert!(base >= 1);
+    let unit_a = AbcdCounts {
+        a: 1,
+        b: 0,
+        c: 0,
+        d: 0,
+    };
+    let unit_b = AbcdCounts {
+        a: 0,
+        b: 1,
+        c: 0,
+        d: 0,
+    };
+    let unit_c = AbcdCounts {
+        a: 0,
+        b: 0,
+        c: 1,
+        d: 0,
+    };
+    let unit_d = AbcdCounts {
+        a: 0,
+        b: 0,
+        c: 0,
+        d: 1,
+    };
+    // Subtree totals at the current size, per root kind; start at leaves.
+    let (mut a, mut b, mut c, mut d) = (unit_a, unit_b, unit_c, unit_d);
+    for _ in 0..doublings(n, base) {
+        let na = combine(combine(combine(combine(unit_a, a, 2), b, 2), c, 2), d, 2);
+        let nb = combine(combine(unit_b, b, 4), d, 4);
+        let nc = combine(combine(unit_c, c, 4), d, 4);
+        let nd = combine(unit_d, d, 8);
+        (a, b, c, d) = (na, nb, nc, nd);
+    }
+    a
+}
+
+/// Number of (non-pruned) recursive calls I-GEP's `F` makes on full Σ:
+/// `t(s) = 1` for `s <= base`, else `t(s) = 1 + 8·t(s/2)`.
+///
+/// The recorded counterpart is the `igep.calls` counter.
+///
+/// # Panics
+/// Panics unless `n` is a power of two and `base >= 1`.
+pub fn igep_calls_full(n: usize, base: usize) -> u64 {
+    assert!(n.is_power_of_two());
+    assert!(base >= 1);
+    let mut t = 1u64;
+    for _ in 0..doublings(n, base) {
+        t = 1 + 8 * t;
+    }
+    t
+}
+
+/// Number of base-case kernel invocations on full Σ: `8^levels`, where
+/// `levels` is how often the side halves before reaching `base`. Identical
+/// for `F` and for the A/B/C/D family (both recurse 8-way).
+///
+/// The recorded counterparts are the `igep.base_cases` / `abcd.base_cases`
+/// counters; the corresponding `*.updates` counters must total `n³`.
+///
+/// # Panics
+/// Panics unless `n` is a power of two and `base >= 1`.
+pub fn base_cases_full(n: usize, base: usize) -> u64 {
+    8u64.pow(doublings(n, base))
+}
+
+fn doublings(n: usize, base: usize) -> u32 {
+    assert!(n.is_power_of_two());
+    assert!(base >= 1);
+    let mut levels = 0u32;
+    let mut s = n;
+    while s > base {
+        s /= 2;
+        levels += 1;
+    }
+    levels
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,7 +248,15 @@ mod tests {
     #[test]
     fn base_cases() {
         let s = spans(1);
-        assert_eq!(s, Spans { a: 1, b: 1, c: 1, d: 1 });
+        assert_eq!(
+            s,
+            Spans {
+                a: 1,
+                b: 1,
+                c: 1,
+                d: 1
+            }
+        );
         assert_eq!(span_simple(1), 1);
         assert_eq!(span_mm(1), 1);
     }
@@ -178,6 +321,68 @@ mod tests {
             assert_eq!(s.b, s.c);
             assert!(s.b >= s.d);
         }
+    }
+
+    #[test]
+    fn abcd_counts_hand_computed() {
+        // Base reached immediately: one A kernel call, nothing else.
+        assert_eq!(
+            abcd_counts_full(1, 1),
+            AbcdCounts {
+                a: 1,
+                b: 0,
+                c: 0,
+                d: 0
+            }
+        );
+        assert_eq!(
+            abcd_counts_full(8, 8),
+            AbcdCounts {
+                a: 1,
+                b: 0,
+                c: 0,
+                d: 0
+            }
+        );
+        // n=2, base=1: A(2) = self + 2A + 2B + 2C + 2D leaves.
+        assert_eq!(
+            abcd_counts_full(2, 1),
+            AbcdCounts {
+                a: 3,
+                b: 2,
+                c: 2,
+                d: 2
+            }
+        );
+        // n=4, base=1, via B(2)={b:5,d:4}, C(2)={c:5,d:4}, D(2)={d:9}:
+        // a = 1+2·3 = 7; b = 2·2+2·5 = 14; c = 14;
+        // d = 2·2 + 2·4 + 2·4 + 2·9 = 38.
+        assert_eq!(
+            abcd_counts_full(4, 1),
+            AbcdCounts {
+                a: 7,
+                b: 14,
+                c: 14,
+                d: 38
+            }
+        );
+    }
+
+    #[test]
+    fn abcd_total_equals_igep_calls() {
+        // Both recursions are 8-way with the same leaf rule, so the total
+        // number of invocations coincides.
+        for (n, base) in [(1, 1), (4, 1), (8, 2), (16, 1), (64, 16), (1024, 64)] {
+            assert_eq!(
+                abcd_counts_full(n, base).total(),
+                igep_calls_full(n, base),
+                "n={n} base={base}"
+            );
+        }
+        // Closed form for the call count: (8^(L+1) - 1) / 7.
+        assert_eq!(igep_calls_full(16, 1), (8u64.pow(5) - 1) / 7);
+        assert_eq!(base_cases_full(16, 1), 8u64.pow(4));
+        assert_eq!(base_cases_full(16, 16), 1);
     }
 
     #[test]

@@ -55,9 +55,7 @@ fn main() {
         let end = arena.borrow().io_stats();
         let transfers = end.transfers() - loaded.transfers();
         let wait = end.wait_s - loaded.wait_s;
-        println!(
-            "{name:18} block transfers: {transfers:>9}   modelled I/O wait: {wait:>10.2} s"
-        );
+        println!("{name:18} block transfers: {transfers:>9}   modelled I/O wait: {wait:>10.2} s");
         results.push((ext.to_matrix(), transfers, wait));
     }
 

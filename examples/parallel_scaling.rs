@@ -12,7 +12,9 @@ use std::time::Instant;
 
 fn main() {
     let n = 512;
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     println!("host: {cores} hardware threads; n = {n}\n");
 
     // Inputs.

@@ -59,8 +59,6 @@ fn main() {
     }
     println!("cache-oblivious vs diagonal-order DP: max deviation {max_dev:.2e}");
     assert!(max_dev < 1e-6);
-    println!(
-        "times: cache-oblivious {t_rec:.3}s (+{fast:.3}s wrapper), iterative {t_it:.3}s"
-    );
+    println!("times: cache-oblivious {t_rec:.3}s (+{fast:.3}s wrapper), iterative {t_it:.3}s");
     println!("polygon_triangulation OK");
 }

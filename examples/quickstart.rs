@@ -56,7 +56,11 @@ fn main() {
     assert_eq!((g[(1, 0)], f[(1, 0)], h[(1, 0)]), (2, 8, 2));
 
     // --- 4. Linear algebra through the same paradigm. -------------------
-    let a = Matrix::from_rows(&[vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 2.0]]);
+    let a = Matrix::from_rows(&[
+        vec![4.0, 1.0, 0.0],
+        vec![1.0, 3.0, 1.0],
+        vec![0.0, 1.0, 2.0],
+    ]);
     let x = gep::apps::gaussian::solve(&a, &[1.0, 2.0, 3.0], 64);
     println!("solve(A, b) = {x:?}");
     let det = gep::apps::gaussian::determinant(&a, 64);

@@ -38,7 +38,12 @@ fn road_network(side: usize) -> (usize, Vec<(usize, usize, i64)>) {
         }
     }
     // Highways: corner to corner and a ring road.
-    let corners = [id(0, 0), id(0, side - 1), id(side - 1, 0), id(side - 1, side - 1)];
+    let corners = [
+        id(0, 0),
+        id(0, side - 1),
+        id(side - 1, 0),
+        id(side - 1, side - 1),
+    ];
     for i in 0..4 {
         for j in 0..4 {
             if i != j {
@@ -57,7 +62,11 @@ fn main() {
     // Build the (dist, next-hop) matrix, pad to a power of two, solve.
     let m = path_matrix(n, &edges);
     let mut padded = m.padded((i64::MAX / 4, u32::MAX));
-    println!("padded to {} x {} for the recursion", padded.n(), padded.n());
+    println!(
+        "padded to {} x {} for the recursion",
+        padded.n(),
+        padded.n()
+    );
     assert_eq!(padded.n(), next_pow2(n));
     igep_opt(&gep::apps::FwPathSpec, &mut padded, 32);
 
@@ -66,7 +75,10 @@ fn main() {
     let to = n - 1; // bottom-right corner
     let dist = padded[(from, to)].0;
     let route = extract_path(&padded, from, to).expect("network is connected");
-    println!("fastest {from} -> {to}: cost {dist}, {} hops", route.len() - 1);
+    println!(
+        "fastest {from} -> {to}: cost {dist}, {} hops",
+        route.len() - 1
+    );
     println!(
         "route: {}",
         route

@@ -315,7 +315,11 @@ fn verify_harness_catches_reintroduced_bug() {
     let rep = diff_engine(&inst.spec(), &inst.init(), &buggy_engine(), 1);
     assert!(rep.is_violation());
     match rep.divergence {
-        Some(Divergence::DivergentUpdate { update, ref operands, .. }) => {
+        Some(Divergence::DivergentUpdate {
+            update,
+            ref operands,
+            ..
+        }) => {
             assert_eq!(update.0, update.2, "w-bracket bug fires on i == k");
             assert!(operands.iter().any(|d| d.operand == "w"));
         }

@@ -150,7 +150,9 @@ fn matmul_four_ways() {
     let b = Matrix::from_fn(n, n, |_, _| gen());
     let want = reference::matmul_reference(&a, &b);
     assert!(gep::apps::matmul::matmul(&a, &b, 8).approx_eq(&want, 1e-9));
-    assert!(gep::apps::matmul::matmul_gep(&a, &b, Matrix::square(n, 0.0), 8).approx_eq(&want, 1e-9));
+    assert!(
+        gep::apps::matmul::matmul_gep(&a, &b, Matrix::square(n, 0.0), 8).approx_eq(&want, 1e-9)
+    );
     let mut c = Matrix::square(n, 0.0);
     gep::blaslike::dgemm(&mut c, &a, &b);
     assert!(c.approx_eq(&want, 1e-9));
@@ -161,7 +163,9 @@ fn matmul_four_ways() {
 fn closure_matches_fw_reachability() {
     let n = 32;
     let dist = fw_input(n, 0xC105);
-    let mut adj = Matrix::from_fn(n, n, |i, j| i != j && dist[(i, j)] < <i64 as Weight>::INFINITY);
+    let mut adj = Matrix::from_fn(n, n, |i, j| {
+        i != j && dist[(i, j)] < <i64 as Weight>::INFINITY
+    });
     gep::apps::transitive_closure::transitive_closure(&mut adj, 8);
     let mut solved = dist.clone();
     gep::apps::floyd_warshall::apsp(&mut solved, 8);
@@ -192,7 +196,9 @@ fn full_generality_out_of_core() {
     let mut u1 = ExtMatrix::from_matrix(arena.clone(), &input);
     let mut v0 = ExtMatrix::from_matrix(arena.clone(), &input);
     let mut v1 = ExtMatrix::from_matrix(arena.clone(), &input);
-    gep::core::cgep_full_with(&SumSpec, &mut c, &mut u0, &mut u1, &mut v0, &mut v1, 1, false);
+    gep::core::cgep_full_with(
+        &SumSpec, &mut c, &mut u0, &mut u1, &mut v0, &mut v1, 1, false,
+    );
     let mut g = input.clone();
     gep_iterative(&SumSpec, &mut g);
     assert_eq!(c.to_matrix(), g);

@@ -21,24 +21,18 @@ fn arb_gep_instance() -> impl Strategy<
         Vec<i64>,
     ),
 > {
-    (1usize..=3)
-        .prop_flat_map(|q| {
-            let n = 1usize << q;
-            (
-                Just(n),
-                proptest::collection::vec(
-                    ((0..n), (0..n), (0..n)).prop_map(|(i, j, k)| (i, j, k)),
-                    0..=n * n * n,
-                ),
-                (
-                    -3i64..=3,
-                    -3i64..=3,
-                    -3i64..=3,
-                    -3i64..=3,
-                ),
-                proptest::collection::vec(-100i64..=100, n * n),
-            )
-        })
+    (1usize..=3).prop_flat_map(|q| {
+        let n = 1usize << q;
+        (
+            Just(n),
+            proptest::collection::vec(
+                ((0..n), (0..n), (0..n)).prop_map(|(i, j, k)| (i, j, k)),
+                0..=n * n * n,
+            ),
+            (-3i64..=3, -3i64..=3, -3i64..=3, -3i64..=3),
+            proptest::collection::vec(-100i64..=100, n * n),
+        )
+    })
 }
 
 fn make_matrix(n: usize, vals: &[i64]) -> Matrix<i64> {
