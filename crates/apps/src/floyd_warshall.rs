@@ -13,7 +13,8 @@
 //! * [`FwPathSpec`] — distance plus successor matrix for path
 //!   reconstruction, elementwise `(dist, next)` pairs.
 
-use gep_core::{GepMat, GepSpec};
+use gep_core::{BoxShape, GepMat, GepSpec};
+use gep_kernels::{KernelSet, ShapedKernel};
 use gep_matrix::Matrix;
 
 /// Edge-weight abstraction: a totally ordered additive monoid with an
@@ -26,6 +27,14 @@ pub trait Weight: Copy + Send + Sync + PartialEq + PartialOrd + std::fmt::Debug 
     const ZERO: Self;
     /// Overflow-safe addition (`INFINITY` propagates).
     fn wadd(self, other: Self) -> Self;
+    /// Specialized min-plus kernel for this weight type from the active
+    /// backend's kernel set, if it ships one. `None` keeps the spec on
+    /// its own scalar kernel.
+    #[inline(always)]
+    fn fw_kernel(set: &'static KernelSet) -> Option<ShapedKernel<Self>> {
+        let _ = set;
+        None
+    }
 }
 
 impl Weight for i64 {
@@ -36,6 +45,10 @@ impl Weight for i64 {
     fn wadd(self, other: i64) -> i64 {
         self + other
     }
+    #[inline(always)]
+    fn fw_kernel(set: &'static KernelSet) -> Option<ShapedKernel<i64>> {
+        Some(set.i64_fw)
+    }
 }
 
 impl Weight for f64 {
@@ -44,6 +57,10 @@ impl Weight for f64 {
     #[inline(always)]
     fn wadd(self, other: f64) -> f64 {
         self + other
+    }
+    #[inline(always)]
+    fn fw_kernel(set: &'static KernelSet) -> Option<ShapedKernel<f64>> {
+        Some(set.f64_fw)
     }
 }
 
@@ -122,6 +139,25 @@ impl<W: Weight> GepSpec for FwSpec<W> {
                     }
                 }
             }
+        }
+    }
+
+    /// Routes the base case through the active `gep-kernels` backend when
+    /// the weight type has a specialized kernel ([`Weight::fw_kernel`]);
+    /// otherwise (or on the `Generic` backend) falls back to
+    /// [`FwSpec::kernel`].
+    unsafe fn kernel_shaped(
+        &self,
+        m: GepMat<'_, W>,
+        xr: usize,
+        xc: usize,
+        kk: usize,
+        s: usize,
+        shape: BoxShape,
+    ) {
+        match gep_kernels::dispatch().and_then(W::fw_kernel) {
+            Some(kernel) => kernel(m, xr, xc, kk, s, shape),
+            None => self.kernel(m, xr, xc, kk, s),
         }
     }
 }

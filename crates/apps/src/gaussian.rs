@@ -13,7 +13,7 @@
 //! nonsingular (e.g. diagonally dominant or positive definite), as in the
 //! paper's experiments.
 
-use gep_core::{GepMat, GepSpec};
+use gep_core::{BoxShape, GepMat, GepSpec};
 use gep_matrix::Matrix;
 
 /// Gaussian elimination without pivoting.
@@ -70,6 +70,25 @@ impl GepSpec for GaussianSpec {
                     *xrow.add(j) -= factor * *vrow.add(j);
                 }
             }
+        }
+    }
+
+    /// Routes the base case through the active `gep-kernels` backend
+    /// (register-blocked GEMM-like panel on disjoint boxes, aliasing-safe
+    /// sweep elsewhere); the `Generic` backend falls back to
+    /// [`GaussianSpec::kernel`].
+    unsafe fn kernel_shaped(
+        &self,
+        m: GepMat<'_, f64>,
+        xr: usize,
+        xc: usize,
+        kk: usize,
+        s: usize,
+        shape: BoxShape,
+    ) {
+        match gep_kernels::dispatch() {
+            Some(set) => (set.f64_ge)(m, xr, xc, kk, s, shape),
+            None => self.kernel(m, xr, xc, kk, s),
         }
     }
 }

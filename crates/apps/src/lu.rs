@@ -14,7 +14,7 @@
 //! leaves `U` on and above the diagonal and unit-lower-triangular `L`'s
 //! subdiagonal entries below it — the classic packed LU.
 
-use gep_core::{GepMat, GepSpec};
+use gep_core::{BoxShape, GepMat, GepSpec};
 use gep_matrix::Matrix;
 
 /// LU decomposition without pivoting (packed `L\U` in place).
@@ -72,6 +72,25 @@ impl GepSpec for LuSpec {
                     *xrow.add(j) -= u * *vrow.add(j);
                 }
             }
+        }
+    }
+
+    /// Routes the base case through the active `gep-kernels` backend; on
+    /// disjoint boxes the multipliers are already formed, so the whole
+    /// tile is a pure `X −= U·V` panel. The `Generic` backend falls back
+    /// to [`LuSpec::kernel`].
+    unsafe fn kernel_shaped(
+        &self,
+        m: GepMat<'_, f64>,
+        xr: usize,
+        xc: usize,
+        kk: usize,
+        s: usize,
+        shape: BoxShape,
+    ) {
+        match gep_kernels::dispatch() {
+            Some(set) => (set.f64_lu)(m, xr, xc, kk, s, shape),
+            None => self.kernel(m, xr, xc, kk, s),
         }
     }
 }

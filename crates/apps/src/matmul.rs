@@ -21,8 +21,16 @@
 //! The [`Joiner`] parameter lets `gep-parallel` run the same recursion
 //! multithreaded.
 
-use gep_core::{GepMat, GepSpec, Joiner, Serial};
+use gep_core::{BoxShape, GepMat, GepSpec, Joiner, Serial};
+use gep_kernels::KernelSet;
 use gep_matrix::Matrix;
+
+/// An accumulating `C ⊕= A ⊗ B` tile over raw panel pointers, in the
+/// calling convention of [`gep_kernels::MmPanel`]: `c` is `mi × nj` with
+/// row stride `ldc`, `a` is `mi × kd` (stride `lda`), `b` is `kd × nj`
+/// (stride `ldb`); `a`/`b` must not overlap `c`.
+pub type TilePanel<T> =
+    unsafe fn(*mut T, usize, *const T, usize, *const T, usize, usize, usize, usize);
 
 /// A semiring for divide-and-conquer matrix products.
 pub trait Semiring: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
@@ -30,6 +38,14 @@ pub trait Semiring: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
     const ADD_IDENTITY: Self;
     /// `x ⊕ (u ⊗ v)`.
     fn fma(x: Self, u: Self, v: Self) -> Self;
+    /// Specialized accumulating tile from the active backend's kernel
+    /// set, if it ships one for this element type. `None` keeps callers
+    /// on the scalar [`Semiring::fma`] loop.
+    #[inline(always)]
+    fn mm_panel(set: &'static KernelSet) -> Option<TilePanel<Self>> {
+        let _ = set;
+        None
+    }
 }
 
 /// Ordinary arithmetic: `x + u * v`.
@@ -38,6 +54,10 @@ impl Semiring for f64 {
     #[inline(always)]
     fn fma(x: f64, u: f64, v: f64) -> f64 {
         x + u * v
+    }
+    #[inline(always)]
+    fn mm_panel(set: &'static KernelSet) -> Option<TilePanel<f64>> {
+        Some(set.f64_mm_acc)
     }
 }
 
@@ -113,6 +133,48 @@ impl GepSpec for MatMulEmbedSpec {
                 }
             }
         }
+    }
+
+    /// Routes the clipped box through the active backend's `C += A·B`
+    /// panel. The clip is always exact (`Σ` intersected with any box is a
+    /// dense cuboid), and the written region (`i ≥ n ∧ j ≥ n`) can never
+    /// overlap the `A` strip (columns `< n`) or the `B` strip (rows
+    /// `< n`), so the packed panel is sound on **every** box shape — the
+    /// `shape` argument is not needed here.
+    unsafe fn kernel_shaped(
+        &self,
+        m: GepMat<'_, f64>,
+        xr: usize,
+        xc: usize,
+        kk: usize,
+        s: usize,
+        _shape: BoxShape,
+    ) {
+        let set = match gep_kernels::dispatch() {
+            Some(set) => set,
+            None => return self.kernel(m, xr, xc, kk, s),
+        };
+        let i_lo = xr.max(self.n);
+        let j_lo = xc.max(self.n);
+        let k_hi = (kk + s).min(self.n);
+        let mi = (xr + s).saturating_sub(i_lo);
+        let nj = (xc + s).saturating_sub(j_lo);
+        let kd = k_hi.saturating_sub(kk);
+        if mi == 0 || nj == 0 || kd == 0 {
+            return;
+        }
+        let ld = m.n();
+        (set.f64_mm_acc)(
+            m.row_ptr(i_lo).add(j_lo),
+            ld,
+            m.row_ptr(i_lo).add(kk).cast_const(),
+            ld,
+            m.row_ptr(kk).add(j_lo).cast_const(),
+            ld,
+            mi,
+            nj,
+            kd,
+        );
     }
 }
 
@@ -254,7 +316,13 @@ unsafe fn mm_rec<T: Semiring, J: Joiner>(
     );
 }
 
-/// `ikj` tile kernel for the direct recursion.
+/// `ikj` tile kernel for the direct recursion. When the semiring has a
+/// backend panel ([`Semiring::mm_panel`]) the tile is handed to it — the
+/// three windows live in separate matrices, so the disjointness the panel
+/// requires holds unconditionally. Because the panel applies the same
+/// per-`(i,j,k)` operation in the same `k` order as the GEP embedding's
+/// kernel, `matmul_dac` and `matmul_gep` stay bitwise identical under any
+/// single backend.
 ///
 /// # Safety
 /// As [`mm_rec`].
@@ -267,6 +335,21 @@ unsafe fn mm_kernel<T: Semiring>(
     kk: usize,
     s: usize,
 ) {
+    if s > 0 {
+        if let Some(panel) = gep_kernels::dispatch().and_then(T::mm_panel) {
+            return panel(
+                c.row_ptr(ci).add(cj),
+                c.n(),
+                a.row_ptr(ci).add(kk),
+                a.n,
+                b.row_ptr(kk).add(cj),
+                b.n,
+                s,
+                s,
+                s,
+            );
+        }
+    }
     for i in ci..ci + s {
         let crow = c.row_ptr(i);
         for k in kk..kk + s {

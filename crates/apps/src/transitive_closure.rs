@@ -5,7 +5,7 @@
 //! and `j` from `k`. This is Floyd–Warshall over the Boolean semiring, so
 //! I-GEP is exact for it.
 
-use gep_core::{GepMat, GepSpec};
+use gep_core::{BoxShape, GepMat, GepSpec};
 use gep_matrix::Matrix;
 
 /// Transitive closure over `bool` adjacency matrices.
@@ -49,6 +49,24 @@ impl GepSpec for TransitiveClosureSpec {
                     }
                 }
             }
+        }
+    }
+
+    /// Routes the base case through the active `gep-kernels` backend
+    /// (wide byte-wise OR on disjoint boxes); the `Generic` backend falls
+    /// back to [`TransitiveClosureSpec::kernel`].
+    unsafe fn kernel_shaped(
+        &self,
+        m: GepMat<'_, bool>,
+        xr: usize,
+        xc: usize,
+        kk: usize,
+        s: usize,
+        shape: BoxShape,
+    ) {
+        match gep_kernels::dispatch() {
+            Some(set) => (set.bool_tc)(m, xr, xc, kk, s, shape),
+            None => self.kernel(m, xr, xc, kk, s),
         }
     }
 }

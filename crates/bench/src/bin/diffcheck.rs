@@ -22,10 +22,22 @@
 //!   reported (exit code 1). Every instance has its own RNG seed, printed
 //!   on failure; `fuzz --seed <u64>` (decimal or 0x-hex) replays exactly
 //!   that instance deterministically.
+//! * `kernels [trials]` — the specialized-vs-generic kernel axis: random
+//!   instances of the five kernel-backed applications (GE, LU, FW, TC,
+//!   MM) run with each `gep-kernels` backend the host supports, compared
+//!   against the scalar generic base case (bitwise for `i64`/`bool`,
+//!   1e-9 for `f64`; the MM embed-vs-recursion bitwise invariant is
+//!   checked under every backend). Seeds print and replay exactly like
+//!   `fuzz` (`kernels --seed <u64>`). Passing `--engine-kernels` to
+//!   `fuzz` or `all` folds this axis into each fuzz trial.
 
+use gep::apps::matmul::{matmul, MatMulEmbedSpec};
+use gep::apps::{FwSpec, GaussianSpec, LuSpec, TransitiveClosureSpec};
+use gep::matrix::Matrix;
 use gep::verify::{
     all_engines, buggy_engine, diff_engine, minimize, recorded_regression, AffineInstance,
 };
+use gep_kernels::{available_backends, set_backend_override, Backend};
 
 struct Rng(u64);
 
@@ -170,11 +182,14 @@ fn fuzz_one(seed: u64, label: &str) -> bool {
     ok
 }
 
-fn fuzz(trials: u64, replay: Option<u64>) -> bool {
+fn fuzz(trials: u64, replay: Option<u64>, engine_kernels: bool) -> bool {
     if let Some(seed) = replay {
         println!("replaying the instance of seed {seed:#018x}:");
         println!("{}\n", random_instance(seed));
-        let ok = fuzz_one(seed, "replay");
+        let mut ok = fuzz_one(seed, "replay");
+        if engine_kernels {
+            ok &= kernels_one(seed, "replay");
+        }
         println!(
             "replay: {}",
             if ok {
@@ -189,6 +204,10 @@ fn fuzz(trials: u64, replay: Option<u64>) -> bool {
     for trial in 0..trials {
         let seed = mix(FUZZ_MASTER_SEED.wrapping_add(trial));
         if !fuzz_one(seed, &format!("trial {trial}")) {
+            ok = false;
+        }
+        // The kernels axis is ~50x the cost of one affine trial; thin it.
+        if engine_kernels && trial % 50 == 0 && !kernels_one(seed, &format!("trial {trial}")) {
             ok = false;
         }
         if (trial + 1) % 500 == 0 {
@@ -206,6 +225,174 @@ fn fuzz(trials: u64, replay: Option<u64>) -> bool {
     ok
 }
 
+/// Runs `run` on a clone of `init` with the kernel backend forced (and
+/// the override dropped afterwards).
+fn run_with<T: Copy>(
+    backend: Backend,
+    init: &Matrix<T>,
+    run: &dyn Fn(&mut Matrix<T>),
+) -> Matrix<T> {
+    set_backend_override(Some(backend));
+    let mut m = init.clone();
+    run(&mut m);
+    set_backend_override(None);
+    m
+}
+
+/// One kernels-axis trial: random instances of the five kernel-backed
+/// applications, every available backend vs the scalar generic base case.
+fn kernels_one(seed: u64, label: &str) -> bool {
+    let mut rng = Rng(seed.max(1));
+    let n = 1usize << (2 + rng.below(4)); // 4, 8, 16, 32
+    let bases = [1usize, 2, 3, 4, 7, 8, 16];
+    let base = bases[rng.below(bases.len() as u64) as usize];
+    let simd: Vec<Backend> = available_backends()
+        .into_iter()
+        .filter(|b| *b != Backend::Generic)
+        .collect();
+
+    let mut ok = true;
+    let mut report = |app: &str, backend: Backend, detail: String| {
+        ok = false;
+        println!(
+            "{label} (seed {seed:#018x}) kernels axis: {app} backend {} n {n} base {base} \
+             diverges from generic: {detail}",
+            backend.name()
+        );
+        println!("replay with: diffcheck kernels --seed {seed:#x}\n");
+    };
+
+    // f64 GE / LU: tolerance comparison (the AVX2 backend fuses
+    // multiply-add, legitimately changing the last bits).
+    let mut ge_init = Matrix::from_fn(n, n, |_, _| rng.below(1000) as f64 / 1000.0 - 0.5);
+    for i in 0..n {
+        ge_init[(i, i)] = n as f64 + 2.0;
+    }
+    for (app, run) in [
+        ("ge", (&|m: &mut Matrix<f64>| {
+            gep::core::igep_opt(&GaussianSpec, m, base)
+        }) as &dyn Fn(&mut Matrix<f64>)),
+        ("lu", &|m: &mut Matrix<f64>| {
+            gep::core::igep_opt(&LuSpec, m, base)
+        }),
+    ] {
+        let want = run_with(Backend::Generic, &ge_init, run);
+        for &backend in &simd {
+            let got = run_with(backend, &ge_init, run);
+            if !got.approx_eq(&want, 1e-9) {
+                report(app, backend, format!("max |delta| = {:e}", got.max_abs_diff(&want)));
+            }
+        }
+    }
+
+    // i64 FW and bool TC: min/or are exact, so bitwise equality holds.
+    let fw_init = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            0i64
+        } else if rng.below(4) == 0 {
+            i64::MAX / 4
+        } else {
+            rng.below(100) as i64 + 1
+        }
+    });
+    let fw_run: &dyn Fn(&mut Matrix<i64>) =
+        &|m| gep::core::igep_opt(&FwSpec::<i64>::new(), m, base);
+    let fw_want = run_with(Backend::Generic, &fw_init, fw_run);
+    for &backend in &simd {
+        if run_with(backend, &fw_init, fw_run) != fw_want {
+            report("fw", backend, "bitwise i64 mismatch".into());
+        }
+    }
+
+    let tc_init = Matrix::from_fn(n, n, |i, j| i == j || rng.below(4) == 0);
+    let tc_run: &dyn Fn(&mut Matrix<bool>) =
+        &|m| gep::core::igep_opt(&TransitiveClosureSpec, m, base);
+    let tc_want = run_with(Backend::Generic, &tc_init, tc_run);
+    for &backend in &simd {
+        if run_with(backend, &tc_init, tc_run) != tc_want {
+            report("tc", backend, "bitwise bool mismatch".into());
+        }
+    }
+
+    // MM: backend vs generic with tolerance, plus the embed-vs-recursion
+    // bitwise invariant under every backend (both paths must route each
+    // (i,j,k) contribution through the same panel op in the same order).
+    let a = Matrix::from_fn(n, n, |_, _| rng.below(200) as f64 / 100.0 - 1.0);
+    let b = Matrix::from_fn(n, n, |_, _| rng.below(200) as f64 / 100.0 - 1.0);
+    let emb_init = Matrix::from_fn(2 * n, 2 * n, |i, j| match (i < n, j < n) {
+        (true, false) => b[(i, j - n)],
+        (false, true) => a[(i - n, j)],
+        _ => 0.0,
+    });
+    set_backend_override(Some(Backend::Generic));
+    let mm_want = matmul(&a, &b, base);
+    set_backend_override(None);
+    for backend in available_backends() {
+        set_backend_override(Some(backend));
+        let dac = matmul(&a, &b, base);
+        let mut emb = emb_init.clone();
+        gep::core::igep_opt(&MatMulEmbedSpec { n }, &mut emb, base);
+        set_backend_override(None);
+        let emb_c = Matrix::from_fn(n, n, |i, j| emb[(n + i, n + j)]);
+        if emb_c != dac {
+            report(
+                "mm",
+                backend,
+                "embed-vs-recursion bitwise invariant broken".into(),
+            );
+        }
+        if backend != Backend::Generic && !dac.approx_eq(&mm_want, 1e-9) {
+            report(
+                "mm",
+                backend,
+                format!("max |delta| = {:e}", dac.max_abs_diff(&mm_want)),
+            );
+        }
+    }
+    ok
+}
+
+/// The kernels axis as a standalone fuzzer (subcommand `kernels`).
+fn kernels_fuzz(trials: u64, replay: Option<u64>) -> bool {
+    if available_backends().len() <= 1 {
+        println!("kernels: only the generic backend is available on this host; nothing to diff");
+        return true;
+    }
+    if let Some(seed) = replay {
+        println!("replaying the kernels-axis instance of seed {seed:#018x}:");
+        let ok = kernels_one(seed, "replay");
+        println!(
+            "replay: {}",
+            if ok {
+                "no divergence"
+            } else {
+                "DIVERGENCE FOUND"
+            }
+        );
+        return ok;
+    }
+    let mut ok = true;
+    for trial in 0..trials {
+        let seed = mix(FUZZ_MASTER_SEED.wrapping_add(0x4B45_524E).wrapping_add(trial));
+        if !kernels_one(seed, &format!("trial {trial}")) {
+            ok = false;
+        }
+        if (trial + 1) % 100 == 0 {
+            println!("… {} kernel trials done", trial + 1);
+        }
+    }
+    println!(
+        "kernels: {trials} trials x {} backends, {}",
+        available_backends().len() - 1,
+        if ok {
+            "no divergence from the generic base case"
+        } else {
+            "DIVERGENCE FOUND"
+        }
+    );
+    ok
+}
+
 /// Parses a seed in decimal or `0x`-prefixed hex.
 fn parse_seed(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -217,6 +404,12 @@ fn parse_seed(s: &str) -> Option<u64> {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_kernels = if let Some(pos) = args.iter().position(|a| a == "--engine-kernels") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
     let mut seed: Option<u64> = None;
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
         let value = args.get(pos + 1).cloned().unwrap_or_else(|| {
@@ -244,17 +437,27 @@ fn main() {
                     std::process::exit(2);
                 }),
             };
-            fuzz(trials, seed)
+            fuzz(trials, seed, engine_kernels)
+        }
+        "kernels" => {
+            let trials = match args.get(1) {
+                None => 200u64,
+                Some(s) => s.parse().unwrap_or_else(|_| {
+                    eprintln!("kernels: trial count '{s}' is not a non-negative integer");
+                    std::process::exit(2);
+                }),
+            };
+            kernels_fuzz(trials, seed)
         }
         "all" => {
             let a = regression();
             println!();
             demo();
             println!();
-            a && fuzz(2000, seed)
+            a && fuzz(2000, seed, engine_kernels)
         }
         other => {
-            eprintln!("unknown subcommand '{other}'; one of: regression, demo, fuzz, all");
+            eprintln!("unknown subcommand '{other}'; one of: regression, demo, fuzz, kernels, all");
             std::process::exit(2);
         }
     };

@@ -6,6 +6,7 @@
 //! cargo run -p gep-bench --release --bin repro -- all --quick --json
 //! cargo run -p gep-bench --release --bin repro -- validate
 //! cargo run -p gep-bench --release --bin repro -- trace
+//! cargo run -p gep-bench --release --bin repro -- tune --json
 //! ```
 //!
 //! With `--json`, every experiment also writes a machine-readable
@@ -67,6 +68,7 @@ fn main() {
         "lemma31",
         "lemma32",
         "layout",
+        "tune",
         "validate",
         "trace",
         "all",
@@ -122,6 +124,15 @@ fn main() {
             jsonout::emit(doc);
         }
     };
+
+    if what == "tune" {
+        // Not part of `all`: the sweep writes tuning.json, which changes
+        // how every later timing subcommand runs — keep that an explicit
+        // choice.
+        let outcome = tune::tune(quick);
+        emit(&tune::tune_doc(&outcome, quick));
+        return;
+    }
 
     if run("counterexample") {
         let (g, f, h) = theory::counterexample();

@@ -29,6 +29,10 @@ pub struct Fig10Row {
 
 /// Runs the sweep and prints the table.
 pub fn fig10(sizes: &[usize], reps: usize) -> Vec<Fig10Row> {
+    // Base size from tuning.json when a `repro tune` sweep produced one,
+    // else the built-in default (64). The kernel backend itself resolves
+    // inside gep-kernels (profile / GEP_KERNELS / CPU detection).
+    let base = gep_kernels::tuned_base_size("ge");
     let mut out = vec![];
     let mut rows = vec![];
     for &n in sizes {
@@ -41,7 +45,7 @@ pub fn fig10(sizes: &[usize], reps: usize) -> Vec<Fig10Row> {
         });
         let (_, igep_s) = timed_best(reps, || {
             let mut c = input.clone();
-            igep_opt(&GaussianSpec, &mut c, 64);
+            igep_opt(&GaussianSpec, &mut c, base);
             c
         });
         let (_, blas_s) = timed_best(reps, || {
@@ -69,7 +73,7 @@ pub fn fig10(sizes: &[usize], reps: usize) -> Vec<Fig10Row> {
         &[
             "n",
             "GEP",
-            "I-GEP (base 64)",
+            &format!("I-GEP (base {base})"),
             "cache-aware blocked",
             "GEP/I-GEP",
             "I-GEP/blocked",
@@ -94,8 +98,15 @@ mod tests {
         );
         // The blocked cache-aware baseline must at least be in I-GEP's
         // league (the paper's 1.5x BLAS advantage came from vendor
-        // assembly; see EXPERIMENTS.md).
+        // assembly; see EXPERIMENTS.md). With the gep-kernels SIMD base
+        // cases I-GEP now meets or beats the scalar blocked baseline, so
+        // the bound is one-sided: I-GEP must not fall behind it by 2x.
         assert!(r.blas_s < r.gep_s, "blocked baseline far above GEP");
-        assert!(r.blas_s < 2.0 * r.igep_s);
+        assert!(
+            r.igep_s < 2.0 * r.blas_s,
+            "I-GEP fell out of the blocked baseline's league: {:.1}ms vs {:.1}ms",
+            r.igep_s * 1e3,
+            r.blas_s * 1e3
+        );
     }
 }

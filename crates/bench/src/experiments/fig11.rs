@@ -32,6 +32,8 @@ pub struct Fig11Row {
 
 /// Timing sweep.
 pub fn fig11_time(sizes: &[usize], reps: usize) -> Vec<Fig11Row> {
+    // Tuned base size (tuning.json via `repro tune`, default 64).
+    let base = gep_kernels::tuned_base_size("mm");
     let mut out = vec![];
     let mut rows = vec![];
     for &n in sizes {
@@ -39,7 +41,7 @@ pub fn fig11_time(sizes: &[usize], reps: usize) -> Vec<Fig11Row> {
         let b = rnd_matrix(n, 61612 + n as u64);
         let flops = 2.0 * (n as f64).powi(3);
         let (_, gep_s) = timed_best(reps, || matmul_reference(&a, &b));
-        let (_, igep_s) = timed_best(reps, || matmul(&a, &b, 64));
+        let (_, igep_s) = timed_best(reps, || matmul(&a, &b, base));
         let (_, blas_s) = timed_best(reps, || {
             let mut c = Matrix::square(n, 0.0);
             dgemm(&mut c, &a, &b);
@@ -65,7 +67,7 @@ pub fn fig11_time(sizes: &[usize], reps: usize) -> Vec<Fig11Row> {
         &[
             "n",
             "triple loop",
-            "I-GEP (base 64)",
+            &format!("I-GEP (base {base})"),
             "cache-aware dgemm",
             "loop/I-GEP",
             "I-GEP/dgemm",

@@ -9,3 +9,4 @@ pub mod fig9;
 pub mod layout;
 pub mod lemma;
 pub mod theory;
+pub mod tune;

@@ -21,6 +21,7 @@
 //! | `span` | §3 — span recurrences / predicted parallelism |
 //! | `space` | §2.2.2 — reduced-space C-GEP live-snapshot peaks |
 //! | `lemma31` | Lemma 3.1(b) — distributed-cache deterministic schedule |
+//! | `tune` | `gep-kernels` autotuner — backend × base-size sweep, writes `tuning.json` |
 
 pub mod experiments;
 pub mod jsonout;

@@ -30,7 +30,7 @@
 
 use crate::gepmat::GepMat;
 use crate::joiner::{Joiner, Serial};
-use crate::spec::GepSpec;
+use crate::spec::{BoxShape, GepSpec};
 use gep_matrix::Matrix;
 
 /// Optimised sequential I-GEP (Section 4.2): the A/B/C/D recursion with an
@@ -166,7 +166,7 @@ pub unsafe fn fn_a<S, J>(
         .arg("s", s as i64);
     if s <= base {
         record_base_case(spec, xr, xc, kk, s);
-        spec.kernel(m, xr, xc, kk, s);
+        spec.kernel_shaped(m, xr, xc, kk, s, BoxShape::Diagonal);
         return;
     }
     let h = s / 2;
@@ -220,7 +220,7 @@ pub unsafe fn fn_b<S, J>(
         .arg("s", s as i64);
     if s <= base {
         record_base_case(spec, xr, xc, kk, s);
-        spec.kernel(m, xr, xc, kk, s);
+        spec.kernel_shaped(m, xr, xc, kk, s, BoxShape::RowPanel);
         return;
     }
     let h = s / 2;
@@ -278,7 +278,7 @@ pub unsafe fn fn_c<S, J>(
         .arg("s", s as i64);
     if s <= base {
         record_base_case(spec, xr, xc, kk, s);
-        spec.kernel(m, xr, xc, kk, s);
+        spec.kernel_shaped(m, xr, xc, kk, s, BoxShape::ColPanel);
         return;
     }
     let h = s / 2;
@@ -330,7 +330,7 @@ pub unsafe fn fn_d<S, J>(
         .arg("s", s as i64);
     if s <= base {
         record_base_case(spec, xr, xc, kk, s);
-        spec.kernel(m, xr, xc, kk, s);
+        spec.kernel_shaped(m, xr, xc, kk, s, BoxShape::Disjoint);
         return;
     }
     let h = s / 2;

@@ -22,10 +22,19 @@ use crate::store::CellStore;
 ///
 /// `base_size` is the §4.2 optimisation: subproblems of side `<= base_size`
 /// are solved with the iterative kernel instead of recursing to single
-/// elements. `base_size = 1` is the literal Figure 2 algorithm; the paper
-/// found 64–128 fastest in-core. For specs on which I-GEP is exact
-/// (Gaussian elimination, LU, Floyd–Warshall, matrix multiplication, …) the
-/// result is independent of `base_size`.
+/// elements. `base_size = 1` is the literal Figure 2 algorithm. For specs
+/// on which I-GEP is exact (Gaussian elimination, LU, Floyd–Warshall,
+/// matrix multiplication, …) the result is independent of `base_size`.
+///
+/// The best `base_size` is host-dependent and interacts with kernel
+/// selection: larger bases give the specialized SIMD base-case kernels of
+/// `gep-kernels` longer inner loops to amortise their setup, while the
+/// scalar generic kernel usually peaks earlier. Run `repro tune` to sweep
+/// `base_size × backend` per application and persist the winners to a
+/// `tuning.json` profile (see `docs/KERNELS.md`); engines fall back to a
+/// built-in default of 64 when no profile is present. Note this store-based
+/// engine always uses the generic iterative kernel — the specialized
+/// kernels apply to the raw in-core [`crate::abcd`] engine.
 ///
 /// # Panics
 /// Panics unless `c` is square with a power-of-two side, and

@@ -75,6 +75,6 @@ pub use igep::{igep, igep_box};
 pub use iterative::gep_iterative;
 pub use joiner::{Joiner, Serial};
 pub use legality::{check_igep_legality, Legality};
-pub use spec::{ClosureSpec, ExplicitSet, GepSpec, SumSpec};
+pub use spec::{BoxShape, ClosureSpec, ExplicitSet, GepSpec, SumSpec};
 pub use store::CellStore;
 pub use verify::{diff_engine, diff_engines, DiffReport, Divergence, Engine, TraceSpec};

@@ -3,6 +3,46 @@
 use std::collections::HashSet;
 use std::fmt::Debug;
 
+/// The geometric relation between a base-case box `X = c[I, J]` and its
+/// pivot range `K` — the same classification that names the Figure 6
+/// function family (`A`/`B`/`C`/`D`).
+///
+/// The recursive engines only produce *aligned* boxes, so each of `I` and
+/// `J` is either equal to or disjoint from `K`. The shape decides which
+/// specialized base-case kernel is sound: on a [`BoxShape::Disjoint`] box
+/// the panels `U = c[I, K]`, `V = c[K, J]` and `W = c[K, K]` are all
+/// outside `X` and therefore stable while the kernel writes `X`, which is
+/// what permits register-accumulating (k-innermost) micro-tile kernels.
+/// The other three shapes alias `X` with one or more panels and need
+/// k-outermost sweeps that re-read the aliased cells (see
+/// `docs/KERNELS.md` for the full safety argument).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BoxShape {
+    /// `I = J = K`: the `A` precondition — `X`, `U`, `V`, `W` coincide.
+    Diagonal,
+    /// `I = K`, `J ∩ K = ∅`: the `B` precondition — `X ≡ V`, `U ≡ W`.
+    RowPanel,
+    /// `J = K`, `I ∩ K = ∅`: the `C` precondition — `X ≡ U`, `V ≡ W`.
+    ColPanel,
+    /// `I ∩ K = J ∩ K = ∅`: the `D` precondition — no overlap at all.
+    /// This is where ~all the FLOPs of a full-Σ run live.
+    Disjoint,
+}
+
+impl BoxShape {
+    /// Classifies an aligned box by its origin coordinates (the Figure 13
+    /// preconditions reduce to origin equality for aligned boxes).
+    #[inline(always)]
+    pub fn classify(xr: usize, xc: usize, kk: usize) -> BoxShape {
+        match (xr == kk, xc == kk) {
+            (true, true) => BoxShape::Diagonal,
+            (true, false) => BoxShape::RowPanel,
+            (false, true) => BoxShape::ColPanel,
+            (false, false) => BoxShape::Disjoint,
+        }
+    }
+}
+
 /// A GEP instance: the element set `S`, the update function
 /// `f : S⁴ → S`, and the update set `Σ ⊆ [0,n)³`.
 ///
@@ -84,6 +124,40 @@ pub trait GepSpec {
     {
         crate::abcd::generic_kernel(self, m, xr, xc, kk, s);
     }
+
+    /// The kernel-provider hook: like [`kernel`](GepSpec::kernel), but the
+    /// engine also passes the [`BoxShape`] of the base-case box, which it
+    /// knows statically (the A/B/C/D engine) or can classify from the
+    /// aligned origins. Specs backed by a kernel library (`gep-kernels`)
+    /// override this to pick a shape-appropriate specialized kernel —
+    /// register-accumulating micro-tiles on [`BoxShape::Disjoint`] boxes,
+    /// aliasing-aware sweeps elsewhere.
+    ///
+    /// The default ignores the shape and forwards to
+    /// [`kernel`](GepSpec::kernel), so existing specs are unaffected; it
+    /// bumps the `kernels.fallback` observability counter so runs can
+    /// assert that no base case silently missed the specialized path
+    /// (the counter stays 0 on power-of-two full-Σ runs of the five
+    /// kernel-backed applications).
+    ///
+    /// # Safety
+    /// As [`kernel`](GepSpec::kernel); additionally `shape` must be the
+    /// true classification of `(xr, xc, kk)` per [`BoxShape::classify`].
+    unsafe fn kernel_shaped(
+        &self,
+        m: crate::gepmat::GepMat<'_, Self::Elem>,
+        xr: usize,
+        xc: usize,
+        kk: usize,
+        s: usize,
+        shape: BoxShape,
+    ) where
+        Self: Sized,
+    {
+        let _ = shape;
+        gep_obs::counter_add("kernels.fallback", 1);
+        self.kernel(m, xr, xc, kk, s);
+    }
 }
 
 /// Blanket impl so `&S` can be passed wherever a spec is consumed by value.
@@ -124,6 +198,18 @@ impl<S: GepSpec> GepSpec for &S {
         s: usize,
     ) {
         (**self).kernel(m, xr, xc, kk, s)
+    }
+    #[inline(always)]
+    unsafe fn kernel_shaped(
+        &self,
+        m: crate::gepmat::GepMat<'_, Self::Elem>,
+        xr: usize,
+        xc: usize,
+        kk: usize,
+        s: usize,
+        shape: BoxShape,
+    ) {
+        (**self).kernel_shaped(m, xr, xc, kk, s, shape)
     }
 }
 

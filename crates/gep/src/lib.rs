@@ -35,6 +35,10 @@
 //! * [`extmem`] — the out-of-core substrate (simulated disk + page
 //!   cache).
 //! * [`blaslike`] — the cache-aware blocked baseline.
+//! * [`kernels`] — vectorized base-case kernels (portable / SSE2 /
+//!   AVX2+FMA) with runtime dispatch and the tuning-profile loader (see
+//!   `docs/KERNELS.md`).
+//! * [`obs`] — observability: counters, spans, bench-JSON schema.
 //! * [`verify`] — the eight-engine differential harness: trace every
 //!   engine against iterative G, localize the first divergent update,
 //!   delta-minimize failing instances (`gep-bench`'s `diffcheck` CLI).
@@ -46,7 +50,9 @@ pub use gep_blaslike as blaslike;
 pub use gep_cachesim as cachesim;
 pub use gep_core as core;
 pub use gep_extmem as extmem;
+pub use gep_kernels as kernels;
 pub use gep_matrix as matrix;
+pub use gep_obs as obs;
 pub use gep_parallel as parallel;
 
 /// The commonly needed names in one import.

@@ -1,0 +1,498 @@
+//! AVX2/FMA backend: explicit `std::arch` micro-tile kernels for the
+//! disjoint (GEMM-like) box, plus 256-bit re-instantiations of the shared
+//! sweeps for the aliasing shapes.
+//!
+//! Rounding discipline: the f64 multiply-accumulate panels use *fused*
+//! operations everywhere — `_mm256_fmadd_pd`/`_mm256_fnmadd_pd` in the
+//! 4×8 register tile and `f64::mul_add` in the scalar edge paths — so a
+//! given `(i, j, k)` update produces bit-identical results no matter which
+//! path its cell lands on. The sweeps stay unfused (`x ± u·v` is never
+//! contracted by rustc), matching the portable backend bit-for-bit on
+//! non-disjoint boxes.
+//!
+//! `#[target_feature]` functions cannot coerce to the plain `unsafe fn`
+//! pointers the [`crate::KernelSet`] vtable holds, so every vtable entry
+//! is a thin `unsafe fn` wrapper around a `#[target_feature]` inner
+//! function. Callers uphold the safety contract by construction: the
+//! wrappers are only reachable through [`crate::dispatch`], which selects
+//! this backend only after `is_x86_feature_detected!("avx2")` and
+//! `("fma")` both pass.
+
+#![allow(clippy::missing_safety_doc, clippy::too_many_arguments)]
+
+use crate::sweeps;
+use core::arch::x86_64::*;
+use gep_core::{BoxShape, GepMat};
+
+// ---------------------------------------------------------------------
+// f64 multiply-accumulate panels (the FLOP hot path)
+// ---------------------------------------------------------------------
+
+/// Fused scalar cell: `*c ← *c + u·v` over the k-column, one rounding per
+/// update (identical to the fmadd lanes of the vector path).
+#[inline(always)]
+unsafe fn cell_acc(c: *mut f64, arow: *const f64, bcol: *const f64, ldb: usize, kd: usize) {
+    let mut x = *c;
+    for k in 0..kd {
+        x = (*arow.add(k)).mul_add(*bcol.add(k * ldb), x);
+    }
+    *c = x;
+}
+
+/// Fused scalar cell for the subtracting panel: `(−u)·v + x` is exactly
+/// what `_mm256_fnmadd_pd` computes per lane.
+#[inline(always)]
+unsafe fn cell_sub(c: *mut f64, arow: *const f64, bcol: *const f64, ldb: usize, kd: usize) {
+    let mut x = *c;
+    for k in 0..kd {
+        x = (-*arow.add(k)).mul_add(*bcol.add(k * ldb), x);
+    }
+    *c = x;
+}
+
+macro_rules! mm_panel {
+    ($name:ident, $vfma:ident, $cell:ident) => {
+        /// Register-blocked panel: 4 rows × 8 columns of C held in eight
+        /// ymm accumulators, k innermost (one broadcast of `a[i,k]`, two
+        /// loads of `b[k, j..j+8]` per step).
+        #[target_feature(enable = "avx2", enable = "fma")]
+        unsafe fn $name(
+            c: *mut f64,
+            ldc: usize,
+            a: *const f64,
+            lda: usize,
+            b: *const f64,
+            ldb: usize,
+            mi: usize,
+            nj: usize,
+            kd: usize,
+        ) {
+            let mut i = 0usize;
+            while i + 4 <= mi {
+                let r0 = c.add(i * ldc);
+                let r1 = c.add((i + 1) * ldc);
+                let r2 = c.add((i + 2) * ldc);
+                let r3 = c.add((i + 3) * ldc);
+                let a0 = a.add(i * lda);
+                let a1 = a.add((i + 1) * lda);
+                let a2 = a.add((i + 2) * lda);
+                let a3 = a.add((i + 3) * lda);
+                let mut j = 0usize;
+                while j + 8 <= nj {
+                    let mut c00 = _mm256_loadu_pd(r0.add(j));
+                    let mut c01 = _mm256_loadu_pd(r0.add(j + 4));
+                    let mut c10 = _mm256_loadu_pd(r1.add(j));
+                    let mut c11 = _mm256_loadu_pd(r1.add(j + 4));
+                    let mut c20 = _mm256_loadu_pd(r2.add(j));
+                    let mut c21 = _mm256_loadu_pd(r2.add(j + 4));
+                    let mut c30 = _mm256_loadu_pd(r3.add(j));
+                    let mut c31 = _mm256_loadu_pd(r3.add(j + 4));
+                    for k in 0..kd {
+                        let brow = b.add(k * ldb + j);
+                        let bv0 = _mm256_loadu_pd(brow);
+                        let bv1 = _mm256_loadu_pd(brow.add(4));
+                        let u0 = _mm256_set1_pd(*a0.add(k));
+                        c00 = $vfma(u0, bv0, c00);
+                        c01 = $vfma(u0, bv1, c01);
+                        let u1 = _mm256_set1_pd(*a1.add(k));
+                        c10 = $vfma(u1, bv0, c10);
+                        c11 = $vfma(u1, bv1, c11);
+                        let u2 = _mm256_set1_pd(*a2.add(k));
+                        c20 = $vfma(u2, bv0, c20);
+                        c21 = $vfma(u2, bv1, c21);
+                        let u3 = _mm256_set1_pd(*a3.add(k));
+                        c30 = $vfma(u3, bv0, c30);
+                        c31 = $vfma(u3, bv1, c31);
+                    }
+                    _mm256_storeu_pd(r0.add(j), c00);
+                    _mm256_storeu_pd(r0.add(j + 4), c01);
+                    _mm256_storeu_pd(r1.add(j), c10);
+                    _mm256_storeu_pd(r1.add(j + 4), c11);
+                    _mm256_storeu_pd(r2.add(j), c20);
+                    _mm256_storeu_pd(r2.add(j + 4), c21);
+                    _mm256_storeu_pd(r3.add(j), c30);
+                    _mm256_storeu_pd(r3.add(j + 4), c31);
+                    j += 8;
+                }
+                while j < nj {
+                    $cell(r0.add(j), a0, b.add(j), ldb, kd);
+                    $cell(r1.add(j), a1, b.add(j), ldb, kd);
+                    $cell(r2.add(j), a2, b.add(j), ldb, kd);
+                    $cell(r3.add(j), a3, b.add(j), ldb, kd);
+                    j += 1;
+                }
+                i += 4;
+            }
+            while i < mi {
+                let r = c.add(i * ldc);
+                let ar = a.add(i * lda);
+                for j in 0..nj {
+                    $cell(r.add(j), ar, b.add(j), ldb, kd);
+                }
+                i += 1;
+            }
+        }
+    };
+}
+
+mm_panel!(mm_acc_inner, _mm256_fmadd_pd, cell_acc);
+mm_panel!(mm_sub_inner, _mm256_fnmadd_pd, cell_sub);
+
+pub unsafe fn mm_acc(
+    c: *mut f64,
+    ldc: usize,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    mi: usize,
+    nj: usize,
+    kd: usize,
+) {
+    mm_acc_inner(c, ldc, a, lda, b, ldb, mi, nj, kd)
+}
+
+pub unsafe fn mm_sub(
+    c: *mut f64,
+    ldc: usize,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    mi: usize,
+    nj: usize,
+    kd: usize,
+) {
+    mm_sub_inner(c, ldc, a, lda, b, ldb, mi, nj, kd)
+}
+
+// ---------------------------------------------------------------------
+// Gaussian disjoint-box panel: precompute u/w factor strips, then FNMA
+// ---------------------------------------------------------------------
+
+/// k-chunk length of the factor strip (4 rows × 128 k = 4 KiB of stack).
+const GE_KC: usize = 128;
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn ge_panel_inner(
+    c: *mut f64,
+    ldc: usize,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    w: *const f64,
+    ws: usize,
+    mi: usize,
+    nj: usize,
+    kd: usize,
+) {
+    let mut fbuf = [0.0f64; 4 * GE_KC];
+    let mut i = 0usize;
+    while i < mi {
+        let rows = (mi - i).min(4);
+        let mut k0 = 0usize;
+        while k0 < kd {
+            let kc = (kd - k0).min(GE_KC);
+            for r in 0..rows {
+                let arow = a.add((i + r) * lda + k0);
+                for k in 0..kc {
+                    fbuf[r * GE_KC + k] = *arow.add(k) / *w.add((k0 + k) * ws);
+                }
+            }
+            mm_sub_inner(
+                c.add(i * ldc),
+                ldc,
+                fbuf.as_ptr(),
+                GE_KC,
+                b.add(k0 * ldb),
+                ldb,
+                rows,
+                nj,
+                kc,
+            );
+            k0 += kc;
+        }
+        i += rows;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Floyd–Warshall min-plus panels
+// ---------------------------------------------------------------------
+
+#[target_feature(enable = "avx2")]
+unsafe fn fw_f64_panel_inner(
+    c: *mut f64,
+    ldc: usize,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    mi: usize,
+    nj: usize,
+    kd: usize,
+) {
+    for i in 0..mi {
+        let crow = c.add(i * ldc);
+        let arow = a.add(i * lda);
+        for k in 0..kd {
+            let u = *arow.add(k);
+            let uv = _mm256_set1_pd(u);
+            let brow = b.add(k * ldb);
+            let mut j = 0usize;
+            while j + 4 <= nj {
+                let x = _mm256_loadu_pd(crow.add(j));
+                let v = _mm256_loadu_pd(brow.add(j));
+                let cand = _mm256_add_pd(uv, v);
+                // `cand < x` with ordered-quiet semantics == the scalar
+                // `if cand < x` (NaN compares false, keeps x).
+                let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(cand, x);
+                _mm256_storeu_pd(crow.add(j), _mm256_blendv_pd(x, cand, lt));
+                j += 4;
+            }
+            while j < nj {
+                let cand = u + *brow.add(j);
+                if cand < *crow.add(j) {
+                    *crow.add(j) = cand;
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn fw_i64_panel_inner(
+    c: *mut i64,
+    ldc: usize,
+    a: *const i64,
+    lda: usize,
+    b: *const i64,
+    ldb: usize,
+    mi: usize,
+    nj: usize,
+    kd: usize,
+) {
+    for i in 0..mi {
+        let crow = c.add(i * ldc);
+        let arow = a.add(i * lda);
+        for k in 0..kd {
+            let u = *arow.add(k);
+            let uv = _mm256_set1_epi64x(u);
+            let brow = b.add(k * ldb);
+            let mut j = 0usize;
+            while j + 4 <= nj {
+                let x = _mm256_loadu_si256(crow.add(j) as *const __m256i);
+                let v = _mm256_loadu_si256(brow.add(j) as *const __m256i);
+                let cand = _mm256_add_epi64(uv, v);
+                // Take cand exactly where x > cand, i.e. cand < x.
+                let gt = _mm256_cmpgt_epi64(x, cand);
+                let res = _mm256_blendv_epi8(x, cand, gt);
+                _mm256_storeu_si256(crow.add(j) as *mut __m256i, res);
+                j += 4;
+            }
+            while j < nj {
+                let cand = u + *brow.add(j);
+                if cand < *crow.add(j) {
+                    *crow.add(j) = cand;
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transitive-closure or-panel (bool == u8 with values 0/1)
+// ---------------------------------------------------------------------
+
+#[target_feature(enable = "avx2")]
+unsafe fn tc_panel_inner(
+    c: *mut bool,
+    ldc: usize,
+    a: *const bool,
+    lda: usize,
+    b: *const bool,
+    ldb: usize,
+    mi: usize,
+    nj: usize,
+    kd: usize,
+) {
+    for i in 0..mi {
+        let crow = c.add(i * ldc) as *mut u8;
+        let arow = a.add(i * lda);
+        for k in 0..kd {
+            if !*arow.add(k) {
+                continue;
+            }
+            let brow = b.add(k * ldb) as *const u8;
+            let mut j = 0usize;
+            while j + 32 <= nj {
+                let x = _mm256_loadu_si256(crow.add(j) as *const __m256i);
+                let v = _mm256_loadu_si256(brow.add(j) as *const __m256i);
+                _mm256_storeu_si256(crow.add(j) as *mut __m256i, _mm256_or_si256(x, v));
+                j += 32;
+            }
+            while j < nj {
+                // OR of 0x00/0x01 bytes stays a valid bool.
+                *crow.add(j) |= *brow.add(j);
+                j += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 256-bit instantiations of the shared sweeps (aliasing shapes)
+// ---------------------------------------------------------------------
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn ge_sweep_tf(m: GepMat<'_, f64>, xr: usize, xc: usize, kk: usize, s: usize) {
+    sweeps::ge_sweep(m, xr, xc, kk, s)
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn lu_sweep_tf(m: GepMat<'_, f64>, xr: usize, xc: usize, kk: usize, s: usize) {
+    sweeps::lu_sweep(m, xr, xc, kk, s)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn fw_f64_sweep_tf(m: GepMat<'_, f64>, xr: usize, xc: usize, kk: usize, s: usize) {
+    sweeps::fw_sweep::<f64>(m, xr, xc, kk, s)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn fw_i64_sweep_tf(m: GepMat<'_, i64>, xr: usize, xc: usize, kk: usize, s: usize) {
+    sweeps::fw_sweep::<i64>(m, xr, xc, kk, s)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn tc_sweep_tf(m: GepMat<'_, bool>, xr: usize, xc: usize, kk: usize, s: usize) {
+    sweeps::tc_sweep(m, xr, xc, kk, s)
+}
+
+// ---------------------------------------------------------------------
+// Shaped entry points (the KernelSet vtable)
+// ---------------------------------------------------------------------
+
+pub unsafe fn ge(m: GepMat<'_, f64>, xr: usize, xc: usize, kk: usize, s: usize, shape: BoxShape) {
+    match shape {
+        // Pruning guarantees xr > kk and xc > kk here, so the whole box is
+        // inside Σ and U/V/W are all outside X: a pure GEMM-like panel.
+        BoxShape::Disjoint => {
+            let ld = m.n();
+            ge_panel_inner(
+                m.row_ptr(xr).add(xc),
+                ld,
+                m.row_ptr(xr).add(kk),
+                ld,
+                m.row_ptr(kk).add(xc),
+                ld,
+                m.row_ptr(kk).add(kk),
+                ld + 1,
+                s,
+                s,
+                s,
+            )
+        }
+        _ => ge_sweep_tf(m, xr, xc, kk, s),
+    }
+}
+
+pub unsafe fn lu(m: GepMat<'_, f64>, xr: usize, xc: usize, kk: usize, s: usize, shape: BoxShape) {
+    match shape {
+        // Disjoint ⇒ xc > kk: column k is outside the tile, the
+        // multipliers in c[xr.., kk..] are already formed, and every
+        // update is the pure `x − u·v`.
+        BoxShape::Disjoint => {
+            let ld = m.n();
+            mm_sub_inner(
+                m.row_ptr(xr).add(xc),
+                ld,
+                m.row_ptr(xr).add(kk),
+                ld,
+                m.row_ptr(kk).add(xc),
+                ld,
+                s,
+                s,
+                s,
+            )
+        }
+        _ => lu_sweep_tf(m, xr, xc, kk, s),
+    }
+}
+
+pub unsafe fn fw_f64(
+    m: GepMat<'_, f64>,
+    xr: usize,
+    xc: usize,
+    kk: usize,
+    s: usize,
+    shape: BoxShape,
+) {
+    match shape {
+        BoxShape::Disjoint => {
+            let ld = m.n();
+            fw_f64_panel_inner(
+                m.row_ptr(xr).add(xc),
+                ld,
+                m.row_ptr(xr).add(kk),
+                ld,
+                m.row_ptr(kk).add(xc),
+                ld,
+                s,
+                s,
+                s,
+            )
+        }
+        _ => fw_f64_sweep_tf(m, xr, xc, kk, s),
+    }
+}
+
+pub unsafe fn fw_i64(
+    m: GepMat<'_, i64>,
+    xr: usize,
+    xc: usize,
+    kk: usize,
+    s: usize,
+    shape: BoxShape,
+) {
+    match shape {
+        BoxShape::Disjoint => {
+            let ld = m.n();
+            fw_i64_panel_inner(
+                m.row_ptr(xr).add(xc),
+                ld,
+                m.row_ptr(xr).add(kk),
+                ld,
+                m.row_ptr(kk).add(xc),
+                ld,
+                s,
+                s,
+                s,
+            )
+        }
+        _ => fw_i64_sweep_tf(m, xr, xc, kk, s),
+    }
+}
+
+pub unsafe fn tc(m: GepMat<'_, bool>, xr: usize, xc: usize, kk: usize, s: usize, shape: BoxShape) {
+    match shape {
+        BoxShape::Disjoint => {
+            let ld = m.n();
+            tc_panel_inner(
+                m.row_ptr(xr).add(xc),
+                ld,
+                m.row_ptr(xr).add(kk),
+                ld,
+                m.row_ptr(kk).add(xc),
+                ld,
+                s,
+                s,
+                s,
+            )
+        }
+        _ => tc_sweep_tf(m, xr, xc, kk, s),
+    }
+}

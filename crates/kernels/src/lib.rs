@@ -1,0 +1,743 @@
+//! # gep-kernels — specialized base-case kernels with runtime dispatch
+//!
+//! The recursive GEP engines spend essentially all of their time in the
+//! base case. This crate provides vectorized, register-blocked base-case
+//! kernels for the concrete applications in `gep-apps` — the f64 trailing
+//! matrix-multiplication update `C ← C − A·B` (shared by Gaussian
+//! elimination and LU), the min-plus Floyd–Warshall inner loop (`f64` and
+//! `i64`), and the boolean and-or transitive-closure kernel — in three
+//! backends:
+//!
+//! * [`Backend::Portable`] — shared, auto-vectorizable Rust sweeps;
+//!   correct on every host.
+//! * [`Backend::Sse2`] — explicit 128-bit `std::arch` kernels (x86-64
+//!   baseline, no runtime feature check needed).
+//! * [`Backend::Avx2`] — explicit 256-bit AVX2 + FMA kernels, selected
+//!   only when `is_x86_feature_detected!` confirms host support.
+//!
+//! [`Backend::Generic`] is the fourth choice: no kernel set at all
+//! ([`dispatch`] returns `None`), telling the caller to use its own
+//! scalar kernel — the pre-existing behaviour, kept available for
+//! differential testing.
+//!
+//! ## Box shapes
+//!
+//! Every kernel receives the [`BoxShape`] of its base-case box. On a
+//! [`BoxShape::Disjoint`] box the `U`/`V`/`W` panels are stable for the
+//! whole call, so the f64 kernels run packed, k-innermost micro-tile
+//! panels (where ~all the FLOPs of a full-Σ run live). The aliased shapes
+//! (`Diagonal`, `RowPanel`, `ColPanel`) run k-outermost sweeps that
+//! reproduce the generic kernel's aliasing refreshes exactly. See
+//! `docs/KERNELS.md` for the taxonomy and the per-application safety
+//! argument.
+//!
+//! ## Selection
+//!
+//! The backend is resolved per process (plus a cheap atomic re-check per
+//! call so tests and the tuner can override):
+//!
+//! 1. a programmatic override ([`set_backend_override`]), else
+//! 2. the `GEP_KERNELS` environment variable (`generic` / `portable` /
+//!    `sse2` / `avx2`), else
+//! 3. a backend pinned by the ambient tuning profile
+//!    (`$GEP_TUNING` or `./tuning.json`, written by `repro tune`), else
+//! 4. the best backend the host supports ([`detect_best`]).
+//!
+//! Every [`dispatch`] call bumps the observability counter
+//! `kernels.dispatch.<backend>`; engines falling back to the generic
+//! iterative kernel bump `kernels.fallback` (see `gep-core`).
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "x86_64")]
+mod sse2;
+mod sweeps;
+pub mod tune;
+
+pub use tune::{tuned_base_size, TuningProfile, DEFAULT_BASE_SIZE};
+
+use gep_core::{BoxShape, GepMat};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// A kernel backend. `Generic` means "no specialized kernels": engines
+/// use their spec's scalar base case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Backend {
+    Generic = 0,
+    Portable = 1,
+    Sse2 = 2,
+    Avx2 = 3,
+}
+
+impl Backend {
+    /// All backends, in increasing order of specialization.
+    pub const ALL: [Backend; 4] = [
+        Backend::Generic,
+        Backend::Portable,
+        Backend::Sse2,
+        Backend::Avx2,
+    ];
+
+    /// Stable lowercase name (used by `GEP_KERNELS`, tuning profiles and
+    /// counter names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Generic => "generic",
+            Backend::Portable => "portable",
+            Backend::Sse2 => "sse2",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Inverse of [`Backend::name`] (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name.to_ascii_lowercase().as_str() {
+            "generic" => Some(Backend::Generic),
+            "portable" => Some(Backend::Portable),
+            "sse2" => Some(Backend::Sse2),
+            "avx2" => Some(Backend::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Can this backend run on the current host?
+    pub fn is_supported(self) -> bool {
+        match self {
+            Backend::Generic | Backend::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Sse2 => true, // part of the x86-64 baseline
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Name of the obs counter bumped each time this backend is dispatched
+    /// (`kernels.dispatch.<backend>`). Public so tests and tooling can
+    /// assert on dispatch activity without hard-coding the strings.
+    pub fn dispatch_counter(self) -> &'static str {
+        match self {
+            Backend::Generic => "kernels.dispatch.generic",
+            Backend::Portable => "kernels.dispatch.portable",
+            Backend::Sse2 => "kernels.dispatch.sse2",
+            Backend::Avx2 => "kernels.dispatch.avx2",
+        }
+    }
+}
+
+/// The backends the current host can actually run, in increasing order of
+/// specialization. Always contains at least `Generic` and `Portable`.
+pub fn available_backends() -> Vec<Backend> {
+    Backend::ALL
+        .into_iter()
+        .filter(|b| b.is_supported())
+        .collect()
+}
+
+/// The fastest specialized backend the host supports.
+pub fn detect_best() -> Backend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if Backend::Avx2.is_supported() {
+            Backend::Avx2
+        } else {
+            Backend::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Backend::Portable
+    }
+}
+
+/// A shaped base-case kernel over the whole-matrix handle: arguments are
+/// the box origin `(xr, xc)`, pivot origin `kk`, side `s`, and the true
+/// [`BoxShape`] of `(xr, xc, kk)`.
+///
+/// # Safety contract (all fields of [`KernelSet`])
+/// As [`gep_core::spec::GepSpec::kernel_shaped`]: exclusive access to the
+/// box, stability of the out-of-box panel cells, truthful `shape`.
+pub type ShapedKernel<T> = unsafe fn(GepMat<'_, T>, usize, usize, usize, usize, BoxShape);
+
+/// A raw `C ± A·B` f64 panel: `c` is `mi × nj` with row stride `ldc`,
+/// `a` is `mi × kd` (stride `lda`), `b` is `kd × nj` (stride `ldb`);
+/// `a`/`b` must not overlap `c`.
+pub type MmPanel =
+    unsafe fn(*mut f64, usize, *const f64, usize, *const f64, usize, usize, usize, usize);
+
+/// The vtable of one backend: shaped kernels for the five GEP
+/// applications plus raw matrix-multiplication panels for callers (the
+/// matmul spec, the tuner) that already hold disjoint panel pointers.
+/// Fields are plain fn pointers, so a `&'static KernelSet` is freely
+/// shareable across threads.
+pub struct KernelSet {
+    pub backend: Backend,
+    /// Gaussian elimination: `Σ = {i > k ∧ j > k}`, `f = x − (u/w)·v`.
+    pub f64_ge: ShapedKernel<f64>,
+    /// LU decomposition: `Σ = {i > k ∧ j ≥ k}`, multiplier at `j == k`.
+    pub f64_lu: ShapedKernel<f64>,
+    /// Floyd–Warshall min-plus over full `Σ`, IEEE f64 weights.
+    pub f64_fw: ShapedKernel<f64>,
+    /// Floyd–Warshall min-plus over full `Σ`, exact i64 weights.
+    pub i64_fw: ShapedKernel<i64>,
+    /// Transitive closure and-or over full `Σ`.
+    pub bool_tc: ShapedKernel<bool>,
+    /// `C += A·B`.
+    pub f64_mm_acc: MmPanel,
+    /// `C −= A·B`.
+    pub f64_mm_sub: MmPanel,
+}
+
+mod portable {
+    //! Fn-pointer-compatible wrappers around the shared sweeps: the
+    //! portable backend uses the aliasing-safe k-outermost bodies on
+    //! every shape and lets LLVM auto-vectorize at the baseline target.
+    use super::{sweeps, BoxShape, GepMat};
+
+    pub unsafe fn ge(m: GepMat<'_, f64>, xr: usize, xc: usize, kk: usize, s: usize, _: BoxShape) {
+        sweeps::ge_sweep(m, xr, xc, kk, s)
+    }
+    pub unsafe fn lu(m: GepMat<'_, f64>, xr: usize, xc: usize, kk: usize, s: usize, _: BoxShape) {
+        sweeps::lu_sweep(m, xr, xc, kk, s)
+    }
+    pub unsafe fn fw_f64(
+        m: GepMat<'_, f64>,
+        xr: usize,
+        xc: usize,
+        kk: usize,
+        s: usize,
+        _: BoxShape,
+    ) {
+        sweeps::fw_sweep::<f64>(m, xr, xc, kk, s)
+    }
+    pub unsafe fn fw_i64(
+        m: GepMat<'_, i64>,
+        xr: usize,
+        xc: usize,
+        kk: usize,
+        s: usize,
+        _: BoxShape,
+    ) {
+        sweeps::fw_sweep::<i64>(m, xr, xc, kk, s)
+    }
+    pub unsafe fn tc(m: GepMat<'_, bool>, xr: usize, xc: usize, kk: usize, s: usize, _: BoxShape) {
+        sweeps::tc_sweep(m, xr, xc, kk, s)
+    }
+    pub unsafe fn mm_acc(
+        c: *mut f64,
+        ldc: usize,
+        a: *const f64,
+        lda: usize,
+        b: *const f64,
+        ldb: usize,
+        mi: usize,
+        nj: usize,
+        kd: usize,
+    ) {
+        sweeps::mm_acc_portable(c, ldc, a, lda, b, ldb, mi, nj, kd)
+    }
+    pub unsafe fn mm_sub(
+        c: *mut f64,
+        ldc: usize,
+        a: *const f64,
+        lda: usize,
+        b: *const f64,
+        ldb: usize,
+        mi: usize,
+        nj: usize,
+        kd: usize,
+    ) {
+        sweeps::mm_sub_portable(c, ldc, a, lda, b, ldb, mi, nj, kd)
+    }
+}
+
+static PORTABLE_SET: KernelSet = KernelSet {
+    backend: Backend::Portable,
+    f64_ge: portable::ge,
+    f64_lu: portable::lu,
+    f64_fw: portable::fw_f64,
+    i64_fw: portable::fw_i64,
+    bool_tc: portable::tc,
+    f64_mm_acc: portable::mm_acc,
+    f64_mm_sub: portable::mm_sub,
+};
+
+#[cfg(target_arch = "x86_64")]
+static SSE2_SET: KernelSet = KernelSet {
+    backend: Backend::Sse2,
+    f64_ge: sse2::ge,
+    f64_lu: sse2::lu,
+    f64_fw: sse2::fw_f64,
+    i64_fw: sse2::fw_i64,
+    bool_tc: sse2::tc,
+    f64_mm_acc: sse2::mm_acc,
+    f64_mm_sub: sse2::mm_sub,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2_SET: KernelSet = KernelSet {
+    backend: Backend::Avx2,
+    f64_ge: avx2::ge,
+    f64_lu: avx2::lu,
+    f64_fw: avx2::fw_f64,
+    i64_fw: avx2::fw_i64,
+    bool_tc: avx2::tc,
+    f64_mm_acc: avx2::mm_acc,
+    f64_mm_sub: avx2::mm_sub,
+};
+
+/// The kernel set of a specific backend, or `None` for
+/// [`Backend::Generic`].
+///
+/// Callers are expected to pass a supported backend (see
+/// [`Backend::is_supported`]); asking for an unsupported one returns the
+/// strongest set the host can actually execute rather than one it cannot.
+pub fn kernel_set(backend: Backend) -> Option<&'static KernelSet> {
+    match backend {
+        Backend::Generic => None,
+        Backend::Portable => Some(&PORTABLE_SET),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => Some(&SSE2_SET),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => {
+            if Backend::Avx2.is_supported() {
+                Some(&AVX2_SET)
+            } else {
+                Some(&SSE2_SET)
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => Some(&PORTABLE_SET),
+    }
+}
+
+const OVERRIDE_UNSET: u8 = u8::MAX;
+static OVERRIDE: AtomicU8 = AtomicU8::new(OVERRIDE_UNSET);
+
+/// Programmatically pins the backend (outranks `GEP_KERNELS` and the
+/// tuning profile), or clears the pin with `None`. Used by the tuner and
+/// the differential test suites; process-global, so concurrent tests that
+/// set it must serialize.
+pub fn set_backend_override(backend: Option<Backend>) {
+    OVERRIDE.store(
+        backend.map_or(OVERRIDE_UNSET, |b| b as u8),
+        Ordering::SeqCst,
+    );
+}
+
+fn backend_override() -> Option<Backend> {
+    match OVERRIDE.load(Ordering::SeqCst) {
+        0 => Some(Backend::Generic),
+        1 => Some(Backend::Portable),
+        2 => Some(Backend::Sse2),
+        3 => Some(Backend::Avx2),
+        _ => None,
+    }
+}
+
+fn env_backend() -> Option<Backend> {
+    let v = std::env::var("GEP_KERNELS").ok()?;
+    if v.is_empty() {
+        return None;
+    }
+    match Backend::from_name(&v) {
+        Some(b) if b.is_supported() => Some(b),
+        Some(b) => {
+            eprintln!(
+                "warning: GEP_KERNELS={} not supported on this host; auto-detecting",
+                b.name()
+            );
+            None
+        }
+        None => {
+            eprintln!(
+                "warning: GEP_KERNELS={v:?} not recognized \
+                 (generic/portable/sse2/avx2); auto-detecting"
+            );
+            None
+        }
+    }
+}
+
+/// Env var + tuning profile + detection, resolved once per process.
+fn ambient_backend() -> Backend {
+    static AMBIENT: OnceLock<Backend> = OnceLock::new();
+    *AMBIENT.get_or_init(|| {
+        if let Some(b) = env_backend() {
+            return b;
+        }
+        if let Some(b) = tune::profile_backend() {
+            if b.is_supported() {
+                return b;
+            }
+            eprintln!(
+                "warning: tuning profile pins backend {} which this host \
+                 does not support; auto-detecting",
+                b.name()
+            );
+        }
+        detect_best()
+    })
+}
+
+/// The backend [`dispatch`] will use right now.
+pub fn selected_backend() -> Backend {
+    backend_override().unwrap_or_else(ambient_backend)
+}
+
+/// Resolves the active backend and returns its kernel set, or `None` when
+/// the generic scalar path is selected. Bumps
+/// `kernels.dispatch.<backend>`.
+///
+/// The returned reference is `'static` and the set is `Sync`, so parallel
+/// engines can resolve once before forking and share it across workers.
+pub fn dispatch() -> Option<&'static KernelSet> {
+    let b = selected_backend();
+    gep_obs::counter_add(b.dispatch_counter(), 1);
+    kernel_set(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gep_core::abcd::generic_kernel;
+    use gep_core::GepSpec;
+    use gep_matrix::Matrix;
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the process-global backend override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *seed >> 11
+    }
+
+    // -- reference specs (local copies so this crate's tests don't need
+    //    gep-apps, which depends on this crate) ------------------------
+
+    struct GeRef;
+    impl GepSpec for GeRef {
+        type Elem = f64;
+        fn update(&self, _: usize, _: usize, _: usize, x: f64, u: f64, v: f64, w: f64) -> f64 {
+            x - (u / w) * v
+        }
+        fn in_sigma(&self, i: usize, j: usize, k: usize) -> bool {
+            i > k && j > k
+        }
+    }
+
+    struct LuRef;
+    impl GepSpec for LuRef {
+        type Elem = f64;
+        fn update(&self, _: usize, j: usize, k: usize, x: f64, u: f64, v: f64, w: f64) -> f64 {
+            if j == k {
+                x / w
+            } else {
+                x - u * v
+            }
+        }
+        fn in_sigma(&self, i: usize, j: usize, k: usize) -> bool {
+            i > k && j >= k
+        }
+    }
+
+    struct FwRefF64;
+    impl GepSpec for FwRefF64 {
+        type Elem = f64;
+        fn update(&self, _: usize, _: usize, _: usize, x: f64, u: f64, v: f64, _: f64) -> f64 {
+            let cand = u + v;
+            if cand < x {
+                cand
+            } else {
+                x
+            }
+        }
+        fn in_sigma(&self, _: usize, _: usize, _: usize) -> bool {
+            true
+        }
+    }
+
+    struct FwRefI64;
+    impl GepSpec for FwRefI64 {
+        type Elem = i64;
+        fn update(&self, _: usize, _: usize, _: usize, x: i64, u: i64, v: i64, _: i64) -> i64 {
+            let cand = u + v;
+            if cand < x {
+                cand
+            } else {
+                x
+            }
+        }
+        fn in_sigma(&self, _: usize, _: usize, _: usize) -> bool {
+            true
+        }
+    }
+
+    struct TcRef;
+    impl GepSpec for TcRef {
+        type Elem = bool;
+        fn update(&self, _: usize, _: usize, _: usize, x: bool, u: bool, v: bool, _: bool) -> bool {
+            x || (u && v)
+        }
+        fn in_sigma(&self, _: usize, _: usize, _: usize) -> bool {
+            true
+        }
+    }
+
+    fn f64_matrix(n: usize, seed: u64) -> Matrix<f64> {
+        let mut s = seed;
+        Matrix::from_fn(n, n, |i, j| {
+            let r = (lcg(&mut s) % 1000) as f64 / 1000.0;
+            // Diagonally dominant keeps GE/LU divisors well away from 0.
+            if i == j {
+                8.0 + r
+            } else {
+                0.5 + r
+            }
+        })
+    }
+
+    fn i64_matrix(n: usize, seed: u64) -> Matrix<i64> {
+        let mut s = seed;
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                0
+            } else {
+                (lcg(&mut s) % 100) as i64 + 1
+            }
+        })
+    }
+
+    fn bool_matrix(n: usize, seed: u64) -> Matrix<bool> {
+        let mut s = seed;
+        Matrix::from_fn(n, n, |i, j| i == j || lcg(&mut s) % 4 == 0)
+    }
+
+    fn assert_f64_close(got: &Matrix<f64>, want: &Matrix<f64>, ctx: &str) {
+        let n = want.n();
+        for i in 0..n {
+            for j in 0..n {
+                let (g, w) = (got[(i, j)], want[(i, j)]);
+                let tol = 1e-9 * w.abs().max(1.0);
+                assert!(
+                    (g - w).abs() <= tol,
+                    "{ctx}: mismatch at ({i},{j}): got {g}, want {w}"
+                );
+            }
+        }
+    }
+
+    /// The four aligned box configurations for side `s` on a `2s` grid,
+    /// in `(xr, xc, kk, shape)` form — the same geometries the recursive
+    /// engines produce (for GE/LU the disjoint box additionally satisfies
+    /// `xr ≥ kk + s` and `xc ≥ kk + s`, as pruning guarantees).
+    fn shapes(s: usize) -> [(usize, usize, usize, BoxShape); 4] {
+        [
+            (0, 0, 0, BoxShape::Diagonal),
+            (0, s, 0, BoxShape::RowPanel),
+            (s, 0, 0, BoxShape::ColPanel),
+            (s, s, 0, BoxShape::Disjoint),
+        ]
+    }
+
+    const SIDES: [usize; 8] = [1, 2, 3, 4, 5, 7, 8, 16];
+
+    fn specialized_sets() -> Vec<&'static KernelSet> {
+        available_backends()
+            .into_iter()
+            .filter_map(kernel_set)
+            .collect()
+    }
+
+    #[test]
+    fn shaped_kernels_match_generic_on_every_shape() {
+        for set in specialized_sets() {
+            let name = set.backend.name();
+            for &s in &SIDES {
+                let n = 2 * s;
+                for (xr, xc, kk, shape) in shapes(s) {
+                    let ctx = format!("{name} s={s} shape={shape:?}");
+
+                    // f64 Gaussian elimination.
+                    let init = f64_matrix(n, 0xC0FFEE ^ s as u64);
+                    let mut want = init.clone();
+                    let mut got = init.clone();
+                    unsafe {
+                        generic_kernel(&GeRef, GepMat::new(&mut want), xr, xc, kk, s);
+                        (set.f64_ge)(GepMat::new(&mut got), xr, xc, kk, s, shape);
+                    }
+                    assert_f64_close(&got, &want, &format!("ge {ctx}"));
+
+                    // f64 LU decomposition.
+                    let init = f64_matrix(n, 0xBEEF ^ s as u64);
+                    let mut want = init.clone();
+                    let mut got = init.clone();
+                    unsafe {
+                        generic_kernel(&LuRef, GepMat::new(&mut want), xr, xc, kk, s);
+                        (set.f64_lu)(GepMat::new(&mut got), xr, xc, kk, s, shape);
+                    }
+                    assert_f64_close(&got, &want, &format!("lu {ctx}"));
+
+                    // f64 Floyd–Warshall (min-plus is exact arithmetic on
+                    // these values: bitwise compare).
+                    let init = f64_matrix(n, 0xF00D ^ s as u64);
+                    let mut want = init.clone();
+                    let mut got = init.clone();
+                    unsafe {
+                        generic_kernel(&FwRefF64, GepMat::new(&mut want), xr, xc, kk, s);
+                        (set.f64_fw)(GepMat::new(&mut got), xr, xc, kk, s, shape);
+                    }
+                    assert_eq!(got, want, "fw f64 {ctx}");
+
+                    // i64 Floyd–Warshall (exact).
+                    let init = i64_matrix(n, 0xABCD ^ s as u64);
+                    let mut want = init.clone();
+                    let mut got = init.clone();
+                    unsafe {
+                        generic_kernel(&FwRefI64, GepMat::new(&mut want), xr, xc, kk, s);
+                        (set.i64_fw)(GepMat::new(&mut got), xr, xc, kk, s, shape);
+                    }
+                    assert_eq!(got, want, "fw i64 {ctx}");
+
+                    // bool transitive closure (exact).
+                    let init = bool_matrix(n, 0x5EED ^ s as u64);
+                    let mut want = init.clone();
+                    let mut got = init.clone();
+                    unsafe {
+                        generic_kernel(&TcRef, GepMat::new(&mut want), xr, xc, kk, s);
+                        (set.bool_tc)(GepMat::new(&mut got), xr, xc, kk, s, shape);
+                    }
+                    assert_eq!(got, want, "tc {ctx}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mm_panels_match_naive_with_remainders() {
+        for set in specialized_sets() {
+            let name = set.backend.name();
+            for &(mi, nj, kd) in &[
+                (1usize, 1usize, 1usize),
+                (1, 9, 3),
+                (3, 4, 5),
+                (4, 8, 8),
+                (5, 11, 7),
+                (6, 10, 2),
+                (13, 19, 17),
+            ] {
+                let n = mi.max(nj).max(kd);
+                let c0 = f64_matrix(n, 7 * (mi + 3 * nj + 5 * kd) as u64);
+                let a = f64_matrix(n, 11 * (mi + 3 * nj + 5 * kd) as u64);
+                let b = f64_matrix(n, 13 * (mi + 3 * nj + 5 * kd) as u64);
+                let ld = c0.n();
+                for sub in [false, true] {
+                    let mut got = c0.clone();
+                    let mut want = c0.clone();
+                    for i in 0..mi {
+                        for k in 0..kd {
+                            for j in 0..nj {
+                                let t = a[(i, k)] * b[(k, j)];
+                                if sub {
+                                    want[(i, j)] -= t;
+                                } else {
+                                    want[(i, j)] += t;
+                                }
+                            }
+                        }
+                    }
+                    unsafe {
+                        let cptr = got.as_mut_slice().as_mut_ptr();
+                        let aptr = a.as_slice().as_ptr();
+                        let bptr = b.as_slice().as_ptr();
+                        let panel = if sub { set.f64_mm_sub } else { set.f64_mm_acc };
+                        panel(cptr, ld, aptr, ld, bptr, ld, mi, nj, kd);
+                    }
+                    assert_f64_close(&got, &want, &format!("{name} mm sub={sub} {mi}x{nj}x{kd}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sized_boxes_are_noops() {
+        for set in specialized_sets() {
+            let init = f64_matrix(4, 99);
+            let mut m = init.clone();
+            unsafe {
+                (set.f64_ge)(GepMat::new(&mut m), 0, 0, 0, 0, BoxShape::Diagonal);
+                (set.f64_lu)(GepMat::new(&mut m), 2, 2, 0, 0, BoxShape::Disjoint);
+                (set.f64_mm_acc)(
+                    m.as_mut_slice().as_mut_ptr(),
+                    4,
+                    init.as_slice().as_ptr(),
+                    4,
+                    init.as_slice().as_ptr(),
+                    4,
+                    0,
+                    0,
+                    0,
+                );
+            }
+            assert_eq!(m, init, "{}", set.backend.name());
+        }
+    }
+
+    #[test]
+    fn backend_names_roundtrip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+            assert_eq!(Backend::from_name(&b.name().to_uppercase()), Some(b));
+        }
+        assert_eq!(Backend::from_name("mmx"), None);
+    }
+
+    #[test]
+    fn available_backends_is_sane() {
+        let avail = available_backends();
+        assert!(avail.contains(&Backend::Generic));
+        assert!(avail.contains(&Backend::Portable));
+        assert!(avail.contains(&detect_best()));
+        for b in avail {
+            match b {
+                Backend::Generic => assert!(kernel_set(b).is_none()),
+                _ => assert_eq!(kernel_set(b).unwrap().backend, b),
+            }
+        }
+    }
+
+    #[test]
+    fn override_controls_dispatch() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_backend_override(Some(Backend::Generic));
+        assert_eq!(selected_backend(), Backend::Generic);
+        assert!(dispatch().is_none());
+        set_backend_override(Some(Backend::Portable));
+        assert_eq!(selected_backend(), Backend::Portable);
+        assert_eq!(dispatch().unwrap().backend, Backend::Portable);
+        set_backend_override(None);
+        // Back to ambient resolution; whatever it picks must be supported.
+        assert!(selected_backend().is_supported());
+    }
+
+    #[test]
+    fn dispatch_bumps_backend_counter() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_backend_override(Some(Backend::Portable));
+        gep_obs::install(gep_obs::Recorder::counters_only());
+        dispatch();
+        dispatch();
+        let rec = gep_obs::take().expect("recorder installed above");
+        set_backend_override(None);
+        assert_eq!(rec.counter("kernels.dispatch.portable"), 2);
+    }
+}

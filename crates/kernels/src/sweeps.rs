@@ -1,0 +1,232 @@
+//! Shared, auto-vectorizable kernel bodies.
+//!
+//! Each function here computes *exactly* what iterative GEP restricted to
+//! the box computes for its application (same per-cell `k` order, same
+//! aliasing refreshes), expressed with contiguous inner loops over row
+//! slices so LLVM's auto-vectorizer can do its job. They are
+//! `#[inline(always)]` so the backend modules can re-instantiate them
+//! under `#[target_feature]` wrappers and get wider auto-vectorization
+//! without duplicating the bodies.
+//!
+//! Unlike the packed micro-tile kernels in the backend modules, every
+//! sweep is sound on **any** box shape (see [`gep_core::BoxShape`]): the
+//! `k`-outermost order plus the aliasing splits below reproduce the
+//! generic kernel's refresh points even when the box overlaps its own
+//! `U`/`V`/`W` panels.
+
+use gep_core::GepMat;
+
+/// Min-plus element: the two operations Floyd–Warshall needs, written so
+/// the same body serves `i64` (exact) and `f64` (IEEE).
+pub(crate) trait MinPlusElem: Copy {
+    fn mp_add(self, o: Self) -> Self;
+    fn mp_lt(self, o: Self) -> bool;
+}
+
+impl MinPlusElem for i64 {
+    #[inline(always)]
+    fn mp_add(self, o: i64) -> i64 {
+        self + o
+    }
+    #[inline(always)]
+    fn mp_lt(self, o: i64) -> bool {
+        self < o
+    }
+}
+
+impl MinPlusElem for f64 {
+    #[inline(always)]
+    fn mp_add(self, o: f64) -> f64 {
+        self + o
+    }
+    #[inline(always)]
+    fn mp_lt(self, o: f64) -> bool {
+        self < o
+    }
+}
+
+/// Gaussian elimination sweep: `Σ = {i > k ∧ j > k}`,
+/// `f = x − (u/w)·v` with the division hoisted per `(k, i)`.
+///
+/// `Σ` excludes `i == k` and `j == k`, so no cell of row `k` or column `k`
+/// is ever written at step `k` — `w`, `factor` and `vrow` stay valid for
+/// the whole step on every box shape.
+///
+/// # Safety
+/// Standard base-case contract: exclusive access to the box, stability of
+/// the out-of-box panel cells it reads.
+#[inline(always)]
+pub(crate) unsafe fn ge_sweep(m: GepMat<'_, f64>, xr: usize, xc: usize, kk: usize, s: usize) {
+    for k in kk..kk + s {
+        let w = m.get(k, k);
+        let vrow = m.row_ptr(k);
+        for i in (k + 1).max(xr)..xr + s {
+            let factor = m.get(i, k) / w;
+            let xrow = m.row_ptr(i);
+            for j in (k + 1).max(xc)..xc + s {
+                *xrow.add(j) -= factor * *vrow.add(j);
+            }
+        }
+    }
+}
+
+/// LU sweep: `Σ = {i > k ∧ j ≥ k}`; the `j == k` update stores the
+/// multiplier `x/w`, later `j > k` updates read it back as `u`.
+///
+/// # Safety
+/// As [`ge_sweep`].
+#[inline(always)]
+pub(crate) unsafe fn lu_sweep(m: GepMat<'_, f64>, xr: usize, xc: usize, kk: usize, s: usize) {
+    for k in kk..kk + s {
+        let w = m.get(k, k);
+        let vrow = m.row_ptr(k);
+        for i in (k + 1).max(xr)..xr + s {
+            // j == k: form the multiplier (only if column k is in the
+            // tile; otherwise it was formed by the tile that owns it).
+            if (xc..xc + s).contains(&k) {
+                let l = m.get(i, k) / w;
+                m.set(i, k, l);
+            }
+            let u = m.get(i, k);
+            let xrow = m.row_ptr(i);
+            for j in (k + 1).max(xc)..xc + s {
+                *xrow.add(j) -= u * *vrow.add(j);
+            }
+        }
+    }
+}
+
+/// Floyd–Warshall min-plus sweep over the full `Σ`.
+///
+/// The aliasing refresh of the generic kernel (`u` when `j == k`) is
+/// preserved by splitting the `j`-range at `k`; `w` is unused by the
+/// update, so no pivot refresh is needed.
+///
+/// # Safety
+/// As [`ge_sweep`].
+#[inline(always)]
+pub(crate) unsafe fn fw_sweep<T: MinPlusElem>(
+    m: GepMat<'_, T>,
+    xr: usize,
+    xc: usize,
+    kk: usize,
+    s: usize,
+) {
+    for k in kk..kk + s {
+        let vrow = m.row_ptr(k);
+        for i in xr..xr + s {
+            let mut u = m.get(i, k);
+            let xrow = m.row_ptr(i);
+            // Segment 1: j < k (u fixed).
+            let mid = k.clamp(xc, xc + s);
+            for j in xc..mid {
+                let cand = u.mp_add(*vrow.add(j));
+                if cand.mp_lt(*xrow.add(j)) {
+                    *xrow.add(j) = cand;
+                }
+            }
+            // Segment 2: j == k (updates c[i,k] itself).
+            if (xc..xc + s).contains(&k) {
+                let cand = u.mp_add(*vrow.add(k));
+                if cand.mp_lt(*xrow.add(k)) {
+                    *xrow.add(k) = cand;
+                    u = cand;
+                }
+            }
+            // Segment 3: j > k.
+            for j in (mid + usize::from((xc..xc + s).contains(&k)))..xc + s {
+                let cand = u.mp_add(*vrow.add(j));
+                if cand.mp_lt(*xrow.add(j)) {
+                    *xrow.add(j) = cand;
+                }
+            }
+        }
+    }
+}
+
+/// Transitive-closure and-or sweep: skips the inner loop when `u` is
+/// false. `u = c[i,k]` is stable within a `k`-iteration even when column
+/// `k` is inside the tile: the `j == k` update computes
+/// `x ∨ (x ∧ v) = x`.
+///
+/// # Safety
+/// As [`ge_sweep`].
+#[inline(always)]
+pub(crate) unsafe fn tc_sweep(m: GepMat<'_, bool>, xr: usize, xc: usize, kk: usize, s: usize) {
+    for k in kk..kk + s {
+        let vrow = m.row_ptr(k);
+        for i in xr..xr + s {
+            if !m.get(i, k) {
+                continue;
+            }
+            let xrow = m.row_ptr(i);
+            for j in xc..xc + s {
+                if *vrow.add(j) {
+                    *xrow.add(j) = true;
+                }
+            }
+        }
+    }
+}
+
+/// Portable `C += A·B` panel (`ikj`, contiguous inner loop, unfused
+/// multiply-add throughout — rustc does not contract `x + u*v` into an
+/// FMA, so every cell sees identical rounding in the vector and remainder
+/// paths).
+///
+/// # Safety
+/// `c` (`mi × nj`, stride `ldc`), `a` (`mi × kd`, stride `lda`) and `b`
+/// (`kd × nj`, stride `ldb`) must be valid and non-overlapping with `c`.
+#[inline(always)]
+pub(crate) unsafe fn mm_acc_portable(
+    c: *mut f64,
+    ldc: usize,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    mi: usize,
+    nj: usize,
+    kd: usize,
+) {
+    for i in 0..mi {
+        let crow = c.add(i * ldc);
+        let arow = a.add(i * lda);
+        for k in 0..kd {
+            let u = *arow.add(k);
+            let brow = b.add(k * ldb);
+            for j in 0..nj {
+                *crow.add(j) += u * *brow.add(j);
+            }
+        }
+    }
+}
+
+/// Portable `C −= A·B` panel; see [`mm_acc_portable`].
+///
+/// # Safety
+/// As [`mm_acc_portable`].
+#[inline(always)]
+pub(crate) unsafe fn mm_sub_portable(
+    c: *mut f64,
+    ldc: usize,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    mi: usize,
+    nj: usize,
+    kd: usize,
+) {
+    for i in 0..mi {
+        let crow = c.add(i * ldc);
+        let arow = a.add(i * lda);
+        for k in 0..kd {
+            let u = *arow.add(k);
+            let brow = b.add(k * ldb);
+            for j in 0..nj {
+                *crow.add(j) -= u * *brow.add(j);
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Tuning profiles: persisted winners of the `repro tune` sweep.
+//!
+//! A profile records, per application, the base-case size at which the
+//! recursive engines should stop subdividing and hand the box to the
+//! kernels, plus (optionally) a pinned backend. The file is plain JSON in
+//! the observability layer's own dialect ([`gep_obs::Json`]), versioned so
+//! future sweeps can extend it without breaking old readers:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "kind": "gep-tuning",
+//!   "backend": "avx2",
+//!   "apps": {
+//!     "gaussian":  { "base_size": 64 },
+//!     "matmul":    { "base_size": 64 }
+//!   }
+//! }
+//! ```
+//!
+//! Resolution order for the profile path: `$GEP_TUNING` if set, else
+//! `./tuning.json`, else no profile (every lookup returns
+//! [`DEFAULT_BASE_SIZE`] and backend detection is purely runtime).
+//! `GEP_KERNELS` still outranks a profile's pinned backend — an explicit
+//! env override is the operator talking, the profile is just a cache of
+//! past measurements.
+
+use crate::Backend;
+use gep_obs::Json;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// Base size used when no tuning profile is present. 64 keeps the whole
+/// working set of a disjoint box (three 64×64 f64 panels ≈ 96 KiB) near
+/// L2 while giving the SIMD panels long enough inner loops to amortize
+/// their setup.
+pub const DEFAULT_BASE_SIZE: usize = 64;
+
+/// Schema version written and accepted by this build.
+pub const TUNING_SCHEMA_VERSION: i64 = 1;
+
+/// A per-application tuned entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppTuning {
+    pub app: String,
+    pub base_size: usize,
+}
+
+/// A parsed tuning profile.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TuningProfile {
+    /// Backend the sweep found fastest, if it chose to pin one.
+    pub backend: Option<Backend>,
+    /// Per-application base sizes, insertion order preserved.
+    pub apps: Vec<AppTuning>,
+}
+
+impl TuningProfile {
+    /// Tuned base size for `app`, or [`DEFAULT_BASE_SIZE`].
+    pub fn base_size(&self, app: &str) -> usize {
+        self.apps
+            .iter()
+            .find(|t| t.app == app)
+            .map(|t| t.base_size)
+            .unwrap_or(DEFAULT_BASE_SIZE)
+    }
+
+    /// Inserts or replaces the entry for `app`.
+    pub fn set_base_size(&mut self, app: &str, base_size: usize) {
+        match self.apps.iter_mut().find(|t| t.app == app) {
+            Some(t) => t.base_size = base_size,
+            None => self.apps.push(AppTuning {
+                app: app.to_string(),
+                base_size,
+            }),
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema_version", Json::Int(TUNING_SCHEMA_VERSION)),
+            ("kind", Json::Str("gep-tuning".to_string())),
+        ];
+        if let Some(b) = self.backend {
+            fields.push(("backend", Json::Str(b.name().to_string())));
+        }
+        let apps = self
+            .apps
+            .iter()
+            .map(|t| {
+                (
+                    t.app.clone(),
+                    Json::obj(vec![("base_size", Json::Int(t.base_size as i64))]),
+                )
+            })
+            .collect();
+        fields.push(("apps", Json::Obj(apps)));
+        Json::obj(fields)
+    }
+
+    pub fn from_json(v: &Json) -> Result<TuningProfile, String> {
+        let ver = v
+            .get("schema_version")
+            .and_then(Json::as_i64)
+            .ok_or("tuning profile: missing schema_version")?;
+        if ver != TUNING_SCHEMA_VERSION {
+            return Err(format!(
+                "tuning profile: unsupported schema_version {ver} (expected {TUNING_SCHEMA_VERSION})"
+            ));
+        }
+        match v.get("kind").and_then(Json::as_str) {
+            Some("gep-tuning") => {}
+            other => return Err(format!("tuning profile: bad kind {other:?}")),
+        }
+        let backend = match v.get("backend") {
+            None | Some(Json::Null) => None,
+            Some(b) => {
+                let name = b.as_str().ok_or("tuning profile: backend must be a string")?;
+                Some(
+                    Backend::from_name(name)
+                        .ok_or_else(|| format!("tuning profile: unknown backend {name:?}"))?,
+                )
+            }
+        };
+        let mut apps = Vec::new();
+        if let Some(Json::Obj(fields)) = v.get("apps") {
+            for (app, entry) in fields {
+                let base_size = entry
+                    .get("base_size")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("tuning profile: app {app:?} missing base_size"))?;
+                if base_size == 0 {
+                    return Err(format!("tuning profile: app {app:?} has base_size 0"));
+                }
+                apps.push(AppTuning {
+                    app: app.clone(),
+                    base_size: base_size as usize,
+                });
+            }
+        }
+        Ok(TuningProfile { backend, apps })
+    }
+
+    /// Parses a profile from JSON text.
+    pub fn parse(text: &str) -> Result<TuningProfile, String> {
+        let v = Json::parse(text).map_err(|e| format!("tuning profile: {e}"))?;
+        TuningProfile::from_json(&v)
+    }
+
+    /// Reads a profile from `path`.
+    pub fn load(path: &Path) -> Result<TuningProfile, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("tuning profile {}: {e}", path.display()))?;
+        TuningProfile::parse(&text)
+    }
+
+    /// Writes the profile to `path` (pretty enough: single line JSON).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut s = String::new();
+        self.to_json().write_into(&mut s);
+        s.push('\n');
+        std::fs::write(path, s)
+    }
+}
+
+/// The profile path the current process would load: `$GEP_TUNING` if set
+/// (even if the file is missing — an explicit path that fails to parse is
+/// reported by [`load_profile`]), else `./tuning.json` if it exists.
+pub fn profile_path() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("GEP_TUNING") {
+        if !p.is_empty() {
+            return Some(PathBuf::from(p));
+        }
+    }
+    let default = PathBuf::from("tuning.json");
+    default.exists().then_some(default)
+}
+
+/// Loads the ambient tuning profile, if any. Unreadable or invalid
+/// profiles are reported on stderr once and treated as absent — a stale
+/// profile must never make the tools unrunnable.
+pub fn load_profile() -> Option<TuningProfile> {
+    let path = profile_path()?;
+    match TuningProfile::load(&path) {
+        Ok(p) => Some(p),
+        Err(e) => {
+            eprintln!("warning: ignoring {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn cached_profile() -> &'static Option<TuningProfile> {
+    static PROFILE: OnceLock<Option<TuningProfile>> = OnceLock::new();
+    PROFILE.get_or_init(load_profile)
+}
+
+/// Tuned base size for `app` from the ambient profile (cached after the
+/// first call), or [`DEFAULT_BASE_SIZE`] when no profile is present.
+pub fn tuned_base_size(app: &str) -> usize {
+    match cached_profile() {
+        Some(p) => p.base_size(app),
+        None => DEFAULT_BASE_SIZE,
+    }
+}
+
+/// Backend pinned by the ambient profile, if any (cached).
+pub(crate) fn profile_backend() -> Option<Backend> {
+    cached_profile().as_ref().and_then(|p| p.backend)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_json() {
+        let mut p = TuningProfile {
+            backend: Some(Backend::Avx2),
+            apps: Vec::new(),
+        };
+        p.set_base_size("gaussian", 64);
+        p.set_base_size("matmul", 32);
+        p.set_base_size("gaussian", 128); // replace, not duplicate
+        let q = TuningProfile::from_json(&p.to_json()).expect("own output must parse");
+        assert_eq!(p, q);
+        assert_eq!(q.base_size("gaussian"), 128);
+        assert_eq!(q.base_size("matmul"), 32);
+        assert_eq!(q.base_size("unknown-app"), DEFAULT_BASE_SIZE);
+    }
+
+    #[test]
+    fn accepts_minimal_profile_without_backend() {
+        let p = TuningProfile::parse(r#"{"schema_version":1,"kind":"gep-tuning","apps":{}}"#)
+            .expect("minimal profile");
+        assert_eq!(p.backend, None);
+        assert_eq!(p.base_size("anything"), DEFAULT_BASE_SIZE);
+    }
+
+    #[test]
+    fn rejects_bad_profiles() {
+        for bad in [
+            r#"{}"#,
+            r#"{"schema_version":2,"kind":"gep-tuning"}"#,
+            r#"{"schema_version":1,"kind":"other"}"#,
+            r#"{"schema_version":1,"kind":"gep-tuning","backend":"mmx"}"#,
+            r#"{"schema_version":1,"kind":"gep-tuning","apps":{"x":{"base_size":0}}}"#,
+            r#"{"schema_version":1,"kind":"gep-tuning","apps":{"x":{}}}"#,
+        ] {
+            assert!(TuningProfile::parse(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join(format!("gep-tune-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tuning.json");
+        let mut p = TuningProfile::default();
+        p.backend = Some(Backend::Portable);
+        p.set_base_size("fw", 16);
+        p.save(&path).unwrap();
+        let q = TuningProfile::load(&path).unwrap();
+        assert_eq!(p, q);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

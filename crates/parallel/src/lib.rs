@@ -23,7 +23,7 @@ pub mod span;
 
 pub use cgep_par::cgep_parallel;
 
-use gep_core::{GepMat, GepSpec, Joiner};
+use gep_core::{BoxShape, GepMat, GepSpec, Joiner};
 use gep_matrix::Matrix;
 
 /// Rayon-backed joiner: `join` maps to [`rayon::join`].
@@ -61,6 +61,11 @@ where
         .arg("n", c.n() as i64)
         .arg("base", base_size as i64)
         .arg("threads", rayon::current_num_threads() as i64);
+    // Resolve the kernel backend before the first rayon join: the
+    // env/profile lookup happens once here on the calling thread; worker
+    // threads then see only the cached atomic/OnceLock fast path (the
+    // resolved `&'static KernelSet` is shared freely — it's `Sync`).
+    let _ = gep_kernels::selected_backend();
     gep_core::abcd::igep_abcd(&RayonJoiner, spec, c, base_size);
 }
 
@@ -115,7 +120,7 @@ unsafe fn simple_rec<S>(
         return;
     }
     if s <= base {
-        spec.kernel(m, i0, j0, k0, s);
+        spec.kernel_shaped(m, i0, j0, k0, s, BoxShape::classify(i0, j0, k0));
         return;
     }
     let h = s / 2;
