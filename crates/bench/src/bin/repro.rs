@@ -17,7 +17,7 @@
 //! (open `bench_json/trace_igep.json` at <https://ui.perfetto.dev>).
 
 use gep_bench::experiments::*;
-use gep_bench::jsonout;
+use gep_bench::{compare, jsonout, trajectory};
 use gep_obs::{BenchDoc, Json};
 
 fn fnum(v: f64) -> Json {
@@ -26,6 +26,82 @@ fn fnum(v: f64) -> Json {
 
 fn inum(v: u64) -> Json {
     Json::Int(v as i64)
+}
+
+/// Appends one snapshot of `bench_dir` to the repo-root trajectory file.
+/// Best-effort: a missing or metric-less bench dir is reported, not fatal.
+fn append_trajectory(bench_dir: &std::path::Path, source: &str, quick: bool) {
+    let entry = match trajectory::entry_from_dir(
+        bench_dir,
+        source,
+        quick,
+        &gep_bench::util::host_info(),
+    ) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("trajectory: skipped ({e})");
+            return;
+        }
+    };
+    let path = std::path::Path::new(trajectory::TRAJECTORY_FILE);
+    match trajectory::append(path, entry) {
+        Ok(seq) => println!("appended entry {seq} to {}", path.display()),
+        Err(e) => eprintln!("trajectory: cannot append to {}: {e}", path.display()),
+    }
+}
+
+/// Builds the `BENCH_misses.json` document from a sweep outcome.
+fn misses_doc(outcome: &misses::MissesOutcome, quick: bool) -> BenchDoc {
+    let mut d = BenchDoc::new(
+        "misses",
+        "Section 4: measured LLC misses vs cachesim vs n^3/(B*sqrt(M))",
+        quick,
+    )
+    .host(&gep_bench::util::host_info());
+    for r in &outcome.rows {
+        let mut fields = vec![
+            ("app", Json::Str(r.app.into())),
+            ("engine", Json::Str(r.engine.into())),
+            ("backend", Json::Str(r.backend.into())),
+            ("n", inum(r.n as u64)),
+            ("seconds", fnum(r.seconds)),
+            ("bound", fnum(r.bound)),
+        ];
+        // Absent measurements stay absent — no fake zeros in the schema.
+        if let Some(s) = r.sim_llc {
+            fields.push(("sim_llc_misses", inum(s)));
+        }
+        if let Some(ratio) = r.ratio_sim() {
+            fields.push(("ratio_sim_over_bound", fnum(ratio)));
+        }
+        if let Some(hw) = &r.hw {
+            for (event, value) in &hw.counts {
+                fields.push(match *event {
+                    "cycles" => ("hw_cycles", inum(*value)),
+                    "instructions" => ("hw_instructions", inum(*value)),
+                    "l1d_loads" => ("hw_l1d_loads", inum(*value)),
+                    "l1d_misses" => ("hw_l1d_misses", inum(*value)),
+                    "llc_loads" => ("hw_llc_loads", inum(*value)),
+                    "llc_misses" => ("hw_llc_misses", inum(*value)),
+                    "dtlb_misses" => ("hw_dtlb_misses", inum(*value)),
+                    "task_clock_ns" => ("hw_task_clock_ns", inum(*value)),
+                    "page_faults" => ("hw_page_faults", inum(*value)),
+                    "context_switches" => ("hw_context_switches", inum(*value)),
+                    _ => continue,
+                });
+            }
+        }
+        if let Some(ratio) = r.ratio_hw() {
+            fields.push(("ratio_hw_over_bound", fnum(ratio)));
+        }
+        d.row(fields);
+    }
+    d.gauge("geometry.llc_bytes", outcome.geometry.llc_bytes as f64);
+    d.gauge("geometry.line_bytes", outcome.geometry.line_bytes as f64);
+    for (name, c) in &outcome.fits {
+        d.gauge(name, *c);
+    }
+    d
 }
 
 fn ooc_doc(name: &str, title: &str, quick: bool, runs: &[fig7::OocRun]) -> BenchDoc {
@@ -68,7 +144,9 @@ fn main() {
         "lemma31",
         "lemma32",
         "layout",
+        "misses",
         "tune",
+        "compare",
         "validate",
         "trace",
         "all",
@@ -85,6 +163,50 @@ fn main() {
                 eprintln!("validation failed: {e}");
                 std::process::exit(1);
             }
+        }
+        // The repo-root trajectory is part of the bench output contract:
+        // schema-check it whenever it exists.
+        let traj = std::path::Path::new(trajectory::TRAJECTORY_FILE);
+        if traj.exists() {
+            let parsed = std::fs::read_to_string(traj)
+                .map_err(|e| e.to_string())
+                .and_then(|t| Json::parse(&t).map_err(|e| e.to_string()))
+                .and_then(|doc| trajectory::validate(&doc));
+            match parsed {
+                Ok(()) => println!("ok {}", traj.display()),
+                Err(e) => {
+                    eprintln!("validation failed: {}: {e}", traj.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    if what == "compare" {
+        // repro compare <baseline-dir> [current-dir] [--deterministic]
+        let deterministic = args.iter().any(|a| a == "--deterministic");
+        let mut dirs = args.iter().filter(|a| !a.starts_with("--")).skip(1);
+        let Some(baseline) = dirs.next() else {
+            eprintln!("usage: repro compare <baseline-dir> [current-dir] [--deterministic]");
+            std::process::exit(2);
+        };
+        let current = dirs.next().map(String::as_str).unwrap_or(jsonout::OUT_DIR);
+        let report = match compare::compare_dirs(
+            std::path::Path::new(baseline),
+            std::path::Path::new(current),
+            deterministic,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("compare failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        compare::print_report(&report);
+        append_trajectory(std::path::Path::new(current), "compare", quick);
+        if report.has_regressions() {
+            std::process::exit(1);
         }
         return;
     }
@@ -480,5 +602,23 @@ fn main() {
             ("q2_enlarged", inum(q2_big)),
         ]);
         emit(&d);
+    }
+    if run("misses") {
+        // The recorder collects hwc.* (or hwc.unavailable) counters so the
+        // summary and the JSON document both show what was measured.
+        gep_obs::install(gep_obs::Recorder::counters_only());
+        let outcome = misses::misses(quick);
+        misses::print_misses(&outcome);
+        let mut d = misses_doc(&outcome, quick);
+        if let Some(rec) = gep_obs::take() {
+            print!("{}", gep_obs::summary(&rec));
+            for (k, v) in &rec.counters {
+                d.counter(k, *v);
+            }
+        }
+        emit(&d);
+    }
+    if what == "all" && json {
+        append_trajectory(&jsonout::out_dir(), "all", quick);
     }
 }

@@ -8,5 +8,6 @@ pub mod fig8;
 pub mod fig9;
 pub mod layout;
 pub mod lemma;
+pub mod misses;
 pub mod theory;
 pub mod tune;

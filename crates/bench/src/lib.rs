@@ -23,8 +23,10 @@
 //! | `lemma31` | Lemma 3.1(b) — distributed-cache deterministic schedule |
 //! | `tune` | `gep-kernels` autotuner — backend × base-size sweep, writes `tuning.json` |
 
+pub mod compare;
 pub mod experiments;
 pub mod jsonout;
+pub mod trajectory;
 pub mod util;
 pub mod workloads;
 

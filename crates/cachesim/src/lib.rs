@@ -16,7 +16,11 @@
 //! * [`TrackedMatrix`] — a [`gep_core::CellStore`] wrapper that routes
 //!   every element access of any GEP engine through a shared simulated
 //!   cache, using any `gep-matrix` [`Layout`](gep_matrix::Layout) for the
-//!   address map.
+//!   address map;
+//! * [`predict`] — the analytic side: the `Θ(n³/(B√M))` / `Θ(n³/B)` miss
+//!   bounds, host cache-geometry detection from sysfs, and the
+//!   median-ratio constant fit used by `repro misses` to put measured,
+//!   simulated and predicted misses in one table.
 //!
 //! Running the *unchanged* engines of `gep-core` over tracked stores
 //! reproduces the paper's miss-count experiments (Figures 9 and 11).
@@ -24,6 +28,7 @@
 pub mod hierarchy;
 pub mod lru;
 pub mod machines;
+pub mod predict;
 pub mod setassoc;
 pub mod tlb;
 pub mod tracked;
@@ -31,6 +36,10 @@ pub mod tracked;
 pub use hierarchy::Hierarchy;
 pub use lru::IdealCache;
 pub use machines::{table2_machines, Machine};
+pub use predict::{
+    detect_host, fit_constant, igep_miss_bound, iterative_miss_bound, predicted_speedup_factor,
+    CacheLevel, HostCaches,
+};
 pub use setassoc::SetAssocCache;
 pub use tlb::Tlb;
 pub use tracked::{AddressSpace, SharedCache, TrackedMatrix};

@@ -1,0 +1,326 @@
+//! Analytic miss-count predictions and host cache-geometry detection.
+//!
+//! The paper's central bound (Theorem 2.2 / Section 4): I-GEP incurs
+//! `O(n³/(B√M))` cache misses on an ideal cache of `M` elements with
+//! `B`-element blocks, against `Θ(n³/B)` for the iterative kernel once the
+//! matrix outgrows the cache. `repro misses` puts three numbers side by
+//! side per engine and size — *measured* misses (hardware counters via
+//! `gep-hwc`), *simulated* misses ([`TrackedMatrix`](crate::TrackedMatrix)
+//! over a host-shaped hierarchy) and these analytic curves scaled by a
+//! fitted constant — so this module owns:
+//!
+//! * the bound formulas ([`igep_miss_bound`], [`iterative_miss_bound`]),
+//!   in element units derived from byte geometry;
+//! * sysfs cache-topology detection ([`detect_host`]), split into pure
+//!   string parsers ([`parse_size`], [`HostCaches::from_entries`]) so the
+//!   logic is unit-testable without a live `/sys`;
+//! * the robust fit ([`fit_constant`]): the median of `measured / bound`
+//!   over a sweep, pinning the bound's hidden constant to the data.
+
+use crate::{Hierarchy, SetAssocCache};
+
+/// I-GEP's cache-oblivious miss bound `n³ / (B·√M)`, in misses, for an
+/// `n×n` problem on a cache of `m_bytes` with `b_bytes` lines holding
+/// `elem_bytes`-sized elements. Returns 0 for degenerate geometry.
+pub fn igep_miss_bound(n: usize, m_bytes: u64, b_bytes: u64, elem_bytes: u64) -> f64 {
+    if elem_bytes == 0 || b_bytes < elem_bytes || m_bytes < b_bytes {
+        return 0.0;
+    }
+    let b = (b_bytes / elem_bytes) as f64;
+    let m = (m_bytes / elem_bytes) as f64;
+    let n = n as f64;
+    n * n * n / (b * m.sqrt())
+}
+
+/// The iterative kernel's miss bound `n³ / B` (it re-scans a row range per
+/// update step, so once `n²` elements exceed `M` every pass misses). Same
+/// unit conventions as [`igep_miss_bound`].
+pub fn iterative_miss_bound(n: usize, b_bytes: u64, elem_bytes: u64) -> f64 {
+    if elem_bytes == 0 || b_bytes < elem_bytes {
+        return 0.0;
+    }
+    let b = (b_bytes / elem_bytes) as f64;
+    let n = n as f64;
+    n * n * n / b
+}
+
+/// The ratio of the two bounds — `√M` in elements — i.e. the factor the
+/// paper predicts I-GEP saves over the iterative kernel.
+pub fn predicted_speedup_factor(m_bytes: u64, elem_bytes: u64) -> f64 {
+    if elem_bytes == 0 || m_bytes < elem_bytes {
+        return 0.0;
+    }
+    ((m_bytes / elem_bytes) as f64).sqrt()
+}
+
+/// Median of `measured / bound` over a sweep — the fitted hidden constant
+/// of the asymptotic bound. Median, not mean: a single multiplexing glitch
+/// or cold-start outlier must not drag the whole fit. `None` when no pair
+/// has a positive bound.
+pub fn fit_constant(pairs: &[(f64, f64)]) -> Option<f64> {
+    let mut ratios: Vec<f64> = pairs
+        .iter()
+        .filter(|(measured, bound)| *bound > 0.0 && measured.is_finite())
+        .map(|(measured, bound)| measured / bound)
+        .collect();
+    if ratios.is_empty() {
+        return None;
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let mid = ratios.len() / 2;
+    Some(if ratios.len() % 2 == 1 {
+        ratios[mid]
+    } else {
+        (ratios[mid - 1] + ratios[mid]) / 2.0
+    })
+}
+
+/// One data or unified cache level of the host CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheLevel {
+    /// Cache level (1 = L1D, 2, 3, ...).
+    pub level: u32,
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (ways).
+    pub ways: usize,
+}
+
+/// The host's data-cache hierarchy as reported by sysfs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HostCaches {
+    /// Data/unified levels sorted by level number (instruction caches are
+    /// excluded — the bound is about data misses).
+    pub levels: Vec<CacheLevel>,
+}
+
+impl HostCaches {
+    /// Builds from raw sysfs strings, one tuple per `index*` directory:
+    /// `(level, type, size, coherency_line_size, ways_of_associativity)`.
+    /// Instruction caches and unparsable entries are skipped; levels are
+    /// sorted and deduplicated (first entry per level wins — cpu0 lists
+    /// each of its caches once).
+    pub fn from_entries(entries: &[(&str, &str, &str, &str, &str)]) -> HostCaches {
+        let mut levels: Vec<CacheLevel> = Vec::new();
+        for (level, type_, size, line, ways) in entries {
+            let type_ = type_.trim();
+            if type_ != "Data" && type_ != "Unified" {
+                continue;
+            }
+            let (Some(level), Some(size_bytes), Some(line_bytes)) = (
+                level.trim().parse::<u32>().ok(),
+                parse_size(size),
+                parse_size(line),
+            ) else {
+                continue;
+            };
+            if size_bytes == 0 || line_bytes == 0 {
+                continue;
+            }
+            if levels.iter().any(|l| l.level == level) {
+                continue;
+            }
+            levels.push(CacheLevel {
+                level,
+                size_bytes,
+                line_bytes,
+                // Fully-associative caches report 0 ways in sysfs; model
+                // those (and unreadable files) as 16-way — close enough
+                // for a miss simulation.
+                ways: match ways.trim().parse::<usize>() {
+                    Ok(w) if w > 0 => w,
+                    _ => 16,
+                },
+            });
+        }
+        levels.sort_by_key(|l| l.level);
+        HostCaches { levels }
+    }
+
+    /// The L1 data cache, if detected.
+    pub fn l1d(&self) -> Option<&CacheLevel> {
+        self.levels.iter().find(|l| l.level == 1)
+    }
+
+    /// The last (largest-level) cache — the one hardware `llc_*` events
+    /// count and the `M` the paper's bound should use for RAM-resident
+    /// runs.
+    pub fn last_level(&self) -> Option<&CacheLevel> {
+        self.levels.last()
+    }
+
+    /// A two-level simulator shaped like this host (L1D + LLC), for
+    /// running [`TrackedMatrix`](crate::TrackedMatrix) experiments that
+    /// are comparable with the hardware counters. Capacities are rounded
+    /// down to the nearest geometry the set-associative model can index
+    /// (power-of-two set count) — real LLCs (e.g. 105 MB, 20-way) rarely
+    /// land on one exactly.
+    pub fn hierarchy(&self) -> Option<Hierarchy> {
+        let l1 = self.l1d()?;
+        let ll = self.last_level()?;
+        Some(Hierarchy::new(simulable_cache(l1), simulable_cache(ll)))
+    }
+}
+
+fn simulable_cache(level: &CacheLevel) -> SetAssocCache {
+    let ways = level.ways.max(1);
+    let blocks = (level.size_bytes / level.line_bytes).max(1) as usize;
+    let sets = (blocks / ways).max(1);
+    let sets = if sets.is_power_of_two() {
+        sets
+    } else {
+        // Previous power of two.
+        1 << (usize::BITS - 1 - sets.leading_zeros())
+    };
+    SetAssocCache::new(
+        (sets * ways) as u64 * level.line_bytes,
+        ways,
+        level.line_bytes,
+    )
+}
+
+/// Parses a sysfs cache size: `"48K"`, `"2048K"`, `"1M"`, `"64"` (plain
+/// bytes), with trailing whitespace/newline tolerated.
+pub fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' | b'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok().map(|v| v * mult)
+}
+
+/// Reads cpu0's cache topology from sysfs. `None` when `/sys` is absent
+/// (non-Linux) or lists no parsable data caches.
+pub fn detect_host() -> Option<HostCaches> {
+    let base = std::path::Path::new("/sys/devices/system/cpu/cpu0/cache");
+    let read = |idx: &std::path::Path, file: &str| -> String {
+        std::fs::read_to_string(idx.join(file)).unwrap_or_default()
+    };
+    let mut raw: Vec<(String, String, String, String, String)> = Vec::new();
+    for entry in std::fs::read_dir(base).ok()? {
+        let path = entry.ok()?.path();
+        if !path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("index"))
+        {
+            continue;
+        }
+        raw.push((
+            read(&path, "level"),
+            read(&path, "type"),
+            read(&path, "size"),
+            read(&path, "coherency_line_size"),
+            read(&path, "ways_of_associativity"),
+        ));
+    }
+    let entries: Vec<(&str, &str, &str, &str, &str)> = raw
+        .iter()
+        .map(|(a, b, c, d, e)| (a.as_str(), b.as_str(), c.as_str(), d.as_str(), e.as_str()))
+        .collect();
+    let host = HostCaches::from_entries(&entries);
+    (!host.levels.is_empty()).then_some(host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ELEM: u64 = 8; // f64
+
+    #[test]
+    fn igep_bound_scales_as_n_cubed_over_b_root_m() {
+        // B = 8 elements, M = 2^16 elements -> sqrt(M) = 256.
+        let m_bytes = 65_536 * ELEM;
+        let b = igep_miss_bound(1024, m_bytes, 64, ELEM);
+        assert!((b - 1024f64.powi(3) / (8.0 * 256.0)).abs() < 1e-6);
+        // Doubling n multiplies by 8; quadrupling M halves.
+        assert!((igep_miss_bound(2048, m_bytes, 64, ELEM) / b - 8.0).abs() < 1e-9);
+        assert!((igep_miss_bound(1024, 4 * m_bytes, 64, ELEM) / b - 0.5).abs() < 1e-9);
+        // Degenerate geometry never divides by zero.
+        assert_eq!(igep_miss_bound(128, 0, 64, ELEM), 0.0);
+        assert_eq!(igep_miss_bound(128, 64, 64, 0), 0.0);
+    }
+
+    #[test]
+    fn iterative_bound_and_speedup_factor() {
+        let it = iterative_miss_bound(512, 64, ELEM);
+        assert!((it - 512f64.powi(3) / 8.0).abs() < 1e-6);
+        // iterative / igep == sqrt(M): the paper's predicted gap.
+        let m_bytes = 65_536 * ELEM;
+        let ig = igep_miss_bound(512, m_bytes, 64, ELEM);
+        let factor = predicted_speedup_factor(m_bytes, ELEM);
+        assert!((it / ig - factor).abs() < 1e-6);
+        assert!((factor - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_constant_is_the_median_ratio() {
+        // Odd count: middle ratio. The outlier (100x) must not move it.
+        let fit = fit_constant(&[(2.0, 1.0), (30.0, 10.0), (10_000.0, 100.0)]).unwrap();
+        assert!((fit - 3.0).abs() < 1e-12);
+        // Even count: mean of the middle two.
+        let fit = fit_constant(&[(1.0, 1.0), (2.0, 1.0), (3.0, 1.0), (40.0, 10.0)]).unwrap();
+        assert!((fit - 2.5).abs() < 1e-12);
+        // Zero bounds and non-finite measurements are excluded.
+        assert_eq!(fit_constant(&[(5.0, 0.0)]), None);
+        assert_eq!(fit_constant(&[]), None);
+        assert_eq!(fit_constant(&[(f64::NAN, 2.0)]), None);
+    }
+
+    #[test]
+    fn sysfs_sizes_parse() {
+        assert_eq!(parse_size("48K\n"), Some(48 * 1024));
+        assert_eq!(parse_size("2048K"), Some(2048 * 1024));
+        assert_eq!(parse_size("1M"), Some(1024 * 1024));
+        assert_eq!(parse_size("64"), Some(64));
+        assert_eq!(parse_size(" 107520K "), Some(107_520 * 1024));
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("big"), None);
+    }
+
+    #[test]
+    fn host_caches_build_from_mock_sysfs_entries() {
+        // A typical topology: split L1, unified L2/L3, with the
+        // instruction cache excluded and levels arriving out of order.
+        let host = HostCaches::from_entries(&[
+            ("3\n", "Unified\n", "107520K\n", "64\n", "20\n"),
+            ("1\n", "Instruction\n", "32K\n", "64\n", "8\n"),
+            ("1\n", "Data\n", "48K\n", "64\n", "12\n"),
+            ("2\n", "Unified\n", "2048K\n", "64\n", "0\n"), // full assoc
+            ("bogus", "Data", "1K", "64", "1"),             // unparsable level
+        ]);
+        assert_eq!(host.levels.len(), 3);
+        assert_eq!(host.l1d().unwrap().size_bytes, 48 * 1024);
+        assert_eq!(host.l1d().unwrap().ways, 12);
+        assert_eq!(host.levels[1].ways, 16, "0 ways maps to a deep default");
+        let ll = host.last_level().unwrap();
+        assert_eq!(ll.level, 3);
+        assert_eq!(ll.size_bytes, 107_520 * 1024);
+        // 105 MB 20-way has a non-power-of-two set count; the simulator
+        // geometry rounds capacity down rather than failing.
+        let sim = host.hierarchy().expect("awkward geometry still simulates");
+        assert!(sim.l2.sets().is_power_of_two());
+        assert!(sim.l2.sets() as u64 * 20 * 64 <= ll.size_bytes);
+        assert!(HostCaches::from_entries(&[]).hierarchy().is_none());
+    }
+
+    #[test]
+    fn live_detection_is_sane_when_present() {
+        // On Linux CI this exercises the real /sys walk; elsewhere the
+        // None branch is the contract.
+        if let Some(host) = detect_host() {
+            let l1 = host.l1d().expect("a data L1 exists when /sys does");
+            assert!(l1.line_bytes.is_power_of_two());
+            assert!(l1.size_bytes >= 4 * 1024);
+            let ll = host.last_level().unwrap();
+            assert!(ll.size_bytes >= l1.size_bytes);
+            assert!(host.hierarchy().is_some());
+        }
+    }
+}

@@ -39,6 +39,9 @@
 //!   AVX2+FMA) with runtime dispatch and the tuning-profile loader (see
 //!   `docs/KERNELS.md`).
 //! * [`obs`] — observability: counters, spans, bench-JSON schema.
+//! * [`hwc`] — hardware performance counters via raw `perf_event_open`,
+//!   publishing `hwc.*` into [`obs`]; degrades gracefully where denied
+//!   (see `docs/OBSERVABILITY.md`).
 //! * [`verify`] — the eight-engine differential harness: trace every
 //!   engine against iterative G, localize the first divergent update,
 //!   delta-minimize failing instances (`gep-bench`'s `diffcheck` CLI).
@@ -50,6 +53,7 @@ pub use gep_blaslike as blaslike;
 pub use gep_cachesim as cachesim;
 pub use gep_core as core;
 pub use gep_extmem as extmem;
+pub use gep_hwc as hwc;
 pub use gep_kernels as kernels;
 pub use gep_matrix as matrix;
 pub use gep_obs as obs;

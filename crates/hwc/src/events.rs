@@ -1,0 +1,337 @@
+//! The counter menu and grouped open/read/close plumbing.
+//!
+//! Seven generalized events cover the paper's Section 4 measurements:
+//! cycles, instructions, L1D loads + misses, LLC loads + misses, and dTLB
+//! misses. They are opened as **two** perf groups rather than one — a
+//! typical x86 PMU has 4–6 programmable counters, and a group only ever
+//! counts when *all* its members fit, so one seven-member group would
+//! silently never schedule on most machines. Within each group the members
+//! are co-scheduled (their ratios are exact); across groups the kernel
+//! multiplexes, and readings are scaled by `time_enabled / time_running`
+//! in the standard way.
+
+use crate::sys;
+
+/// One hardware event this crate knows how to count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// CPU cycles (`PERF_COUNT_HW_CPU_CYCLES`).
+    Cycles,
+    /// Retired instructions (`PERF_COUNT_HW_INSTRUCTIONS`).
+    Instructions,
+    /// L1 data-cache read accesses.
+    L1dLoads,
+    /// L1 data-cache read misses.
+    L1dMisses,
+    /// Last-level-cache read accesses.
+    LlcLoads,
+    /// Last-level-cache read misses — the paper's headline number.
+    LlcMisses,
+    /// Data-TLB read misses (the §4.2 Morton-layout motivation).
+    DtlbMisses,
+    /// Task clock in nanoseconds (software event — works even on VMs with
+    /// no PMU, keeping the live path exercised everywhere).
+    TaskClockNs,
+    /// Page faults (software event).
+    PageFaults,
+    /// Context switches (software event).
+    ContextSwitches,
+}
+
+// PERF_COUNT_HW_CACHE_* id builder: cache | (op << 8) | (result << 16).
+const fn hw_cache(cache: u64, op: u64, result: u64) -> u64 {
+    cache | (op << 8) | (result << 16)
+}
+
+// PERF_COUNT_SW_* ids.
+const SW_TASK_CLOCK: u64 = 1;
+const SW_PAGE_FAULTS: u64 = 2;
+const SW_CONTEXT_SWITCHES: u64 = 3;
+
+const CACHE_L1D: u64 = 0;
+const CACHE_LL: u64 = 2;
+const CACHE_DTLB: u64 = 3;
+const OP_READ: u64 = 0;
+const RESULT_ACCESS: u64 = 0;
+const RESULT_MISS: u64 = 1;
+
+impl Event {
+    /// All events, in reporting order.
+    pub const ALL: [Event; 10] = [
+        Event::Cycles,
+        Event::Instructions,
+        Event::L1dLoads,
+        Event::L1dMisses,
+        Event::LlcLoads,
+        Event::LlcMisses,
+        Event::DtlbMisses,
+        Event::TaskClockNs,
+        Event::PageFaults,
+        Event::ContextSwitches,
+    ];
+
+    /// The `hwc.<label>.<name>` counter suffix.
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::Cycles => "cycles",
+            Event::Instructions => "instructions",
+            Event::L1dLoads => "l1d_loads",
+            Event::L1dMisses => "l1d_misses",
+            Event::LlcLoads => "llc_loads",
+            Event::LlcMisses => "llc_misses",
+            Event::DtlbMisses => "dtlb_misses",
+            Event::TaskClockNs => "task_clock_ns",
+            Event::PageFaults => "page_faults",
+            Event::ContextSwitches => "context_switches",
+        }
+    }
+
+    /// `(perf type, config)` for the attr.
+    fn type_config(self) -> (u32, u64) {
+        match self {
+            Event::Cycles => (sys::TYPE_HARDWARE, 0),
+            Event::Instructions => (sys::TYPE_HARDWARE, 1),
+            Event::L1dLoads => (
+                sys::TYPE_HW_CACHE,
+                hw_cache(CACHE_L1D, OP_READ, RESULT_ACCESS),
+            ),
+            Event::L1dMisses => (
+                sys::TYPE_HW_CACHE,
+                hw_cache(CACHE_L1D, OP_READ, RESULT_MISS),
+            ),
+            Event::LlcLoads => (
+                sys::TYPE_HW_CACHE,
+                hw_cache(CACHE_LL, OP_READ, RESULT_ACCESS),
+            ),
+            Event::LlcMisses => (sys::TYPE_HW_CACHE, hw_cache(CACHE_LL, OP_READ, RESULT_MISS)),
+            Event::DtlbMisses => (
+                sys::TYPE_HW_CACHE,
+                hw_cache(CACHE_DTLB, OP_READ, RESULT_MISS),
+            ),
+            Event::TaskClockNs => (sys::TYPE_SOFTWARE, SW_TASK_CLOCK),
+            Event::PageFaults => (sys::TYPE_SOFTWARE, SW_PAGE_FAULTS),
+            Event::ContextSwitches => (sys::TYPE_SOFTWARE, SW_CONTEXT_SWITCHES),
+        }
+    }
+
+    fn attr(self, leader: bool, inherit: bool) -> sys::PerfEventAttr {
+        let (type_, config) = self.type_config();
+        let mut flags = sys::FLAG_EXCLUDE_KERNEL | sys::FLAG_EXCLUDE_HV;
+        if leader {
+            // Siblings follow the leader's enable state; only the leader
+            // starts disabled and is flipped by ioctl.
+            flags |= sys::FLAG_DISABLED;
+        }
+        if inherit {
+            flags |= sys::FLAG_INHERIT;
+        }
+        sys::PerfEventAttr {
+            type_,
+            size: sys::ATTR_SIZE_VER0,
+            config,
+            read_format: sys::FORMAT_TOTAL_TIME_ENABLED | sys::FORMAT_TOTAL_TIME_RUNNING,
+            flags,
+            ..Default::default()
+        }
+    }
+}
+
+/// The co-scheduled groups (see module docs). The first carries the
+/// headline LLC numbers and must fit the PMU whole; the third is pure
+/// software events, which cost no PMU counters and work on any kernel —
+/// including VMs that expose no PMU at all.
+const GROUPS: [&[Event]; 3] = [
+    &[
+        Event::Cycles,
+        Event::Instructions,
+        Event::LlcLoads,
+        Event::LlcMisses,
+    ],
+    &[Event::L1dLoads, Event::L1dMisses, Event::DtlbMisses],
+    &[
+        Event::TaskClockNs,
+        Event::PageFaults,
+        Event::ContextSwitches,
+    ],
+];
+
+/// One scaled counter reading.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScaledCount {
+    /// Raw counted value.
+    pub value: u64,
+    /// Nanoseconds the event was enabled.
+    pub time_enabled: u64,
+    /// Nanoseconds the event was actually counting on the PMU.
+    pub time_running: u64,
+}
+
+impl ScaledCount {
+    /// The multiplexing-corrected estimate `value * enabled / running`,
+    /// or `None` if the event never got PMU time (an absent measurement,
+    /// *not* a zero).
+    pub fn scaled(&self) -> Option<u64> {
+        if self.time_running == 0 {
+            return None;
+        }
+        let scale = self.time_enabled as f64 / self.time_running as f64;
+        Some((self.value as f64 * scale).round() as u64)
+    }
+}
+
+struct OpenEvent {
+    event: Event,
+    fd: i32,
+    /// True for the first successfully opened member of each group.
+    leader: bool,
+}
+
+/// An open set of hardware counters (both groups), counting from
+/// [`CounterSet::open`] until dropped.
+pub struct CounterSet {
+    events: Vec<OpenEvent>,
+}
+
+impl CounterSet {
+    /// Opens and enables the full event menu. Individual events that the
+    /// PMU rejects (`ENOENT`/`EINVAL`/`ENOSPC`/`ENODEV`) are skipped —
+    /// their readings will simply be absent. Fails only if *no* event can
+    /// be opened, returning the first errno.
+    pub fn open(inherit: bool) -> Result<CounterSet, i32> {
+        let mut events = Vec::new();
+        let mut first_err = None;
+        for group in GROUPS {
+            let mut leader_fd = -1;
+            for &event in group {
+                let attr = event.attr(leader_fd < 0, inherit);
+                match sys::perf_event_open(&attr, leader_fd) {
+                    Ok(fd) => {
+                        events.push(OpenEvent {
+                            event,
+                            fd,
+                            leader: leader_fd < 0,
+                        });
+                        if leader_fd < 0 {
+                            leader_fd = fd;
+                        }
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                        // A rejected sibling leaves the rest of the group
+                        // intact; a rejected leader voids the group.
+                    }
+                }
+            }
+        }
+        if events.is_empty() {
+            return Err(first_err.unwrap_or(sys::ENOSYS));
+        }
+        let set = CounterSet { events };
+        set.each_leader(|fd| {
+            let _ = sys::ioctl(fd, sys::IOC_RESET, sys::IOC_FLAG_GROUP);
+            let _ = sys::ioctl(fd, sys::IOC_ENABLE, sys::IOC_FLAG_GROUP);
+        });
+        Ok(set)
+    }
+
+    fn each_leader(&self, mut f: impl FnMut(i32)) {
+        for e in &self.events {
+            if e.leader {
+                f(e.fd);
+            }
+        }
+    }
+
+    /// Disables all groups and reads every member (scaled for
+    /// multiplexing). Events the kernel could not schedule are omitted.
+    pub fn stop_and_read(&self) -> Vec<(Event, ScaledCount)> {
+        self.each_leader(|fd| {
+            let _ = sys::ioctl(fd, sys::IOC_DISABLE, sys::IOC_FLAG_GROUP);
+        });
+        let mut out = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            // value, time_enabled, time_running.
+            let mut buf = [0u64; 3];
+            if sys::read_u64s(e.fd, &mut buf) == Ok(3) {
+                out.push((
+                    e.event,
+                    ScaledCount {
+                        value: buf[0],
+                        time_enabled: buf[1],
+                        time_running: buf[2],
+                    },
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl Drop for CounterSet {
+    fn drop(&mut self) {
+        for e in &self.events {
+            sys::close(e.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_config_encoding_matches_the_header() {
+        // PERF_COUNT_HW_CACHE_LL | (OP_READ << 8) | (RESULT_MISS << 16).
+        assert_eq!(Event::LlcMisses.type_config(), (sys::TYPE_HW_CACHE, 0x10002));
+        assert_eq!(Event::L1dLoads.type_config(), (sys::TYPE_HW_CACHE, 0x0));
+        assert_eq!(Event::DtlbMisses.type_config(), (sys::TYPE_HW_CACHE, 0x10003));
+        assert_eq!(Event::Cycles.type_config(), (sys::TYPE_HARDWARE, 0));
+    }
+
+    #[test]
+    fn every_event_is_in_exactly_one_group() {
+        for event in Event::ALL {
+            let n: usize = GROUPS
+                .iter()
+                .map(|g| g.iter().filter(|&&e| e == event).count())
+                .sum();
+            assert_eq!(n, 1, "{:?}", event);
+        }
+    }
+
+    #[test]
+    fn scaling_corrects_for_multiplexing() {
+        let half_time = ScaledCount {
+            value: 100,
+            time_enabled: 2_000,
+            time_running: 1_000,
+        };
+        assert_eq!(half_time.scaled(), Some(200));
+        let never_ran = ScaledCount {
+            value: 0,
+            time_enabled: 2_000,
+            time_running: 0,
+        };
+        assert_eq!(never_ran.scaled(), None, "absent, not zero");
+        let full_time = ScaledCount {
+            value: 42,
+            time_enabled: 5_000,
+            time_running: 5_000,
+        };
+        assert_eq!(full_time.scaled(), Some(42));
+    }
+
+    #[test]
+    fn leader_attr_is_disabled_siblings_are_not() {
+        let leader = Event::Cycles.attr(true, false);
+        assert_ne!(leader.flags & sys::FLAG_DISABLED, 0);
+        assert_eq!(leader.flags & sys::FLAG_INHERIT, 0);
+        let sibling = Event::LlcMisses.attr(false, true);
+        assert_eq!(sibling.flags & sys::FLAG_DISABLED, 0);
+        assert_ne!(sibling.flags & sys::FLAG_INHERIT, 0);
+        assert_ne!(sibling.flags & sys::FLAG_EXCLUDE_KERNEL, 0);
+        assert_eq!(sibling.size, sys::ATTR_SIZE_VER0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # gep-hwc — hardware performance counters for the GEP workspace
+//!
+//! The paper's central empirical claim (Section 4, Figures 7–9) is about
+//! *measured* cache behavior: I-GEP's actual miss counts track the
+//! cache-oblivious Θ(n³/(B√M)) bound. `gep-cachesim` reproduces the
+//! simulated side; this crate supplies the machine side — real counters
+//! read through `perf_event_open(2)` so `repro misses` can put measured
+//! LLC misses, simulated misses and the analytic bound in one table.
+//!
+//! Design constraints, matching the rest of the workspace:
+//!
+//! * **No dependencies.** The syscalls are issued with inline assembly
+//!   ([`sys`]) on Linux x86_64/aarch64 and stubbed elsewhere — no libc,
+//!   no perf crates.
+//! * **Zero cost when disabled.** [`HwSpan::start`] is an atomic load and
+//!   an early return when no `gep_obs` recorder is installed.
+//! * **Never fail an experiment.** Counters are denied in most containers
+//!   and CI runners; the one-shot [`probe`] records *why*
+//!   ([`Availability::reason`]) and every span degrades to bumping the
+//!   `hwc.unavailable` counter. Events the PMU cannot schedule are
+//!   *absent* from readings, never zero.
+//!
+//! ```
+//! gep_obs::install(gep_obs::Recorder::counters_only());
+//! {
+//!     let span = gep_hwc::HwSpan::start("ge");
+//!     // ... run the engine under measurement ...
+//!     if let Some(reading) = span.stop() {
+//!         println!("LLC misses: {:?}", reading.llc_misses());
+//!     }
+//! }
+//! let rec = gep_obs::take().unwrap();
+//! // Either hwc.ge.* counters or hwc.unavailable is now set.
+//! # let _ = rec;
+//! ```
+//!
+//! Counter families published into the recorder (see
+//! `docs/OBSERVABILITY.md`): `hwc.<label>.cycles`, `.instructions`,
+//! `.l1d_loads`, `.l1d_misses`, `.llc_loads`, `.llc_misses`,
+//! `.dtlb_misses`, plus the degradation marker `hwc.unavailable`.
+//!
+//! Group scheduling, multiplex scaling and the two-group split are
+//! documented in [`events`]; `PERF_FLAG` inheritance (one span covers a
+//! whole rayon pool) in [`span`]. Set `GEP_HWC=off` to force the denied
+//! path (used by tests and by benchmarks that must not multiplex the PMU).
+
+pub mod events;
+pub mod probe;
+pub mod span;
+pub mod sys;
+
+pub use events::{CounterSet, Event, ScaledCount};
+pub use probe::{availability, classify_open_failure, parse_paranoid, Availability};
+pub use span::{HwReading, HwSpan};
+
+/// Convenience: the probe's denial reason, or `None` when counters work.
+pub fn unavailable_reason() -> Option<&'static str> {
+    availability().reason()
+}

@@ -1,0 +1,190 @@
+//! One-shot availability probe with a human-readable denial reason.
+//!
+//! `perf_event_open` fails for many environment reasons — containers
+//! filter the syscall, `perf_event_paranoid` may forbid unprivileged use,
+//! VMs may expose no PMU. The probe runs **once** per process
+//! ([`availability`] caches it), so an experiment sweep does not retry a
+//! denied syscall thousands of times, and the reason it records is the one
+//! `repro misses` prints and tests assert on.
+
+use crate::events::CounterSet;
+use crate::sys;
+use std::sync::OnceLock;
+
+/// Result of the one-shot probe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Availability {
+    /// Counters opened and read successfully; [`HwSpan`](crate::HwSpan)
+    /// will measure.
+    Available,
+    /// Counters cannot be used; every span degrades to a no-op that
+    /// records `hwc.unavailable`.
+    Unavailable {
+        /// Human-readable explanation (printed by `repro misses`).
+        reason: String,
+    },
+}
+
+impl Availability {
+    /// True for [`Availability::Available`].
+    pub fn is_available(&self) -> bool {
+        matches!(self, Availability::Available)
+    }
+
+    /// The denial reason, if unavailable.
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            Availability::Available => None,
+            Availability::Unavailable { reason } => Some(reason),
+        }
+    }
+}
+
+/// Parses the content of `/proc/sys/kernel/perf_event_paranoid`.
+/// Separated from the file read so the force-deny tests can feed mock
+/// content.
+pub fn parse_paranoid(content: &str) -> Option<i64> {
+    content.trim().parse().ok()
+}
+
+/// Reads the live `perf_event_paranoid` level (`None` if the file is
+/// missing, e.g. non-Linux).
+pub fn paranoid_level() -> Option<i64> {
+    let text = std::fs::read_to_string("/proc/sys/kernel/perf_event_paranoid").ok()?;
+    parse_paranoid(&text)
+}
+
+/// Maps an open failure to the reason string. Pure — unit-tested against
+/// every errno class with mocked paranoid levels.
+pub fn classify_open_failure(errno: i32, paranoid: Option<i64>) -> String {
+    let paranoid_note = || match paranoid {
+        Some(level) => format!("perf_event_paranoid={level}"),
+        None => "perf_event_paranoid unreadable".to_string(),
+    };
+    match errno {
+        sys::EACCES | sys::EPERM => format!(
+            "permission denied ({}; containers often seccomp-filter perf_event_open — \
+             need paranoid <= 2 for user-space self-counting, or CAP_PERFMON)",
+            paranoid_note()
+        ),
+        sys::ENOSYS => "kernel or build target lacks perf_event_open (ENOSYS)".to_string(),
+        sys::ENOENT => "generalized hardware events not supported by this PMU (ENOENT)".to_string(),
+        sys::ENODEV => "no PMU available on this CPU (ENODEV)".to_string(),
+        e => format!("perf_event_open failed (errno {e}, {})", paranoid_note()),
+    }
+}
+
+/// The probe decision, with every environment input injected — the
+/// force-deny tests drive this directly.
+pub fn decide(
+    env_override: Option<&str>,
+    target_supported: bool,
+    paranoid: Option<i64>,
+    open: impl FnOnce() -> Result<(), i32>,
+) -> Availability {
+    if let Some(v) = env_override {
+        if v == "off" || v == "0" {
+            return Availability::Unavailable {
+                reason: format!("disabled by GEP_HWC={v}"),
+            };
+        }
+    }
+    if !target_supported {
+        return Availability::Unavailable {
+            reason: "unsupported build target (hwc needs Linux on x86_64 or aarch64)".to_string(),
+        };
+    }
+    match open() {
+        Ok(()) => Availability::Available,
+        Err(errno) => Availability::Unavailable {
+            reason: classify_open_failure(errno, paranoid),
+        },
+    }
+}
+
+/// The process-wide probe result. First call opens (and immediately
+/// closes) a throwaway counter set; later calls are a shared-reference
+/// load.
+pub fn availability() -> &'static Availability {
+    static PROBE: OnceLock<Availability> = OnceLock::new();
+    PROBE.get_or_init(|| {
+        let env = std::env::var("GEP_HWC").ok();
+        decide(env.as_deref(), sys::SUPPORTED, paranoid_level(), || {
+            CounterSet::open(false).map(|set| {
+                // Read once so a PMU that opens but cannot count still
+                // classifies as available-with-absent-events, not a crash.
+                let _ = set.stop_and_read();
+            })
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paranoid_parses_proc_content() {
+        assert_eq!(parse_paranoid("2\n"), Some(2));
+        assert_eq!(parse_paranoid("-1"), Some(-1));
+        assert_eq!(parse_paranoid("  4 "), Some(4));
+        assert_eq!(parse_paranoid("not a number"), None);
+    }
+
+    #[test]
+    fn env_off_forces_denial() {
+        let a = decide(Some("off"), true, Some(1), || {
+            panic!("must not even try the syscall")
+        });
+        assert!(!a.is_available());
+        assert!(a.reason().unwrap().contains("GEP_HWC=off"));
+    }
+
+    #[test]
+    fn unsupported_target_is_a_clean_reason() {
+        let a = decide(None, false, None, || panic!("no syscall on stub targets"));
+        assert!(a.reason().unwrap().contains("unsupported build target"));
+    }
+
+    #[test]
+    fn mocked_paranoid_denial_names_the_level() {
+        // The container force-deny path: seccomp returns EPERM and the
+        // mocked paranoid file says 3.
+        let a = decide(None, true, Some(3), || Err(sys::EPERM));
+        let reason = a.reason().expect("denied");
+        assert!(reason.contains("perf_event_paranoid=3"), "{reason}");
+        assert!(reason.contains("permission denied"), "{reason}");
+    }
+
+    #[test]
+    fn errno_classes_have_distinct_reasons() {
+        let reasons: Vec<String> = [sys::EACCES, sys::ENOSYS, sys::ENOENT, sys::ENODEV, 99]
+            .iter()
+            .map(|&e| classify_open_failure(e, Some(2)))
+            .collect();
+        for (i, a) in reasons.iter().enumerate() {
+            for b in &reasons[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(reasons[4].contains("errno 99"));
+    }
+
+    #[test]
+    fn successful_open_is_available() {
+        assert!(decide(None, true, Some(2), || Ok(())).is_available());
+        // An unrelated GEP_HWC value does not disable.
+        assert!(decide(Some("on"), true, Some(2), || Ok(())).is_available());
+    }
+
+    #[test]
+    fn live_probe_is_consistent_and_cached() {
+        let first = availability();
+        let second = availability();
+        assert!(std::ptr::eq(first, second));
+        // Whatever this host says, the reason (if any) must be non-empty.
+        if let Some(r) = first.reason() {
+            assert!(!r.is_empty());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The RAII measurement span.
+//!
+//! [`HwSpan::start`] opens + enables the counter set; dropping the span
+//! (or calling [`HwSpan::stop`] for direct access to the numbers) disables
+//! it, reads every event, and publishes `hwc.<label>.<event>` counters
+//! into the installed [`gep_obs`] recorder. When no recorder is installed
+//! the span is inert and issues **no syscalls** — the same
+//! zero-cost-when-disabled contract the rest of the workspace
+//! instrumentation honors.
+//!
+//! Degradation contract (asserted by tests here and in `gep-bench`): when
+//! counters are unavailable the span records `hwc.unavailable` (one per
+//! attempted span) and *nothing else* — events are absent, never zero.
+
+use crate::events::CounterSet;
+use crate::probe::{availability, Availability};
+
+/// Scaled per-event values from one span, in reporting order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HwReading {
+    /// `(event name, multiplexing-corrected count)` for every event the
+    /// PMU actually scheduled.
+    pub counts: Vec<(&'static str, u64)>,
+}
+
+impl HwReading {
+    /// Value of one event (`"cycles"`, `"llc_misses"`, ...), if measured.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counts.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// The headline number: last-level-cache read misses.
+    pub fn llc_misses(&self) -> Option<u64> {
+        self.get("llc_misses")
+    }
+}
+
+/// An open measurement interval over the calling thread *and* (via
+/// `PERF_FLAG` inherit) every thread it spawns while the span is open —
+/// one span around a rayon region counts the whole pool.
+#[must_use = "the counters publish when this span drops"]
+pub struct HwSpan {
+    label: String,
+    set: Option<CounterSet>,
+}
+
+impl HwSpan {
+    /// Starts measuring under `label` (counters publish as
+    /// `hwc.<label>.*`). Inert — no syscalls — when no `gep_obs` recorder
+    /// is installed; degrades to recording `hwc.unavailable` when the
+    /// process-wide probe denied counters.
+    pub fn start(label: &str) -> HwSpan {
+        if !gep_obs::enabled() {
+            return HwSpan {
+                label: String::new(),
+                set: None,
+            };
+        }
+        Self::start_with(label, availability())
+    }
+
+    /// [`HwSpan::start`] with the availability decision injected — the
+    /// force-deny tests (and any tool that wants to bypass the cached
+    /// probe) drive this directly.
+    pub fn start_with(label: &str, avail: &Availability) -> HwSpan {
+        if !avail.is_available() {
+            gep_obs::counter_add("hwc.unavailable", 1);
+            return HwSpan {
+                label: String::new(),
+                set: None,
+            };
+        }
+        match CounterSet::open(true) {
+            Ok(set) => HwSpan {
+                label: label.to_string(),
+                set: Some(set),
+            },
+            Err(_) => {
+                // The probe said yes but this open failed (fd exhaustion,
+                // PMU contention) — same degradation path.
+                gep_obs::counter_add("hwc.unavailable", 1);
+                HwSpan {
+                    label: String::new(),
+                    set: None,
+                }
+            }
+        }
+    }
+
+    /// Whether this span is actually counting.
+    pub fn is_live(&self) -> bool {
+        self.set.is_some()
+    }
+
+    fn finish(&mut self) -> Option<HwReading> {
+        let set = self.set.take()?;
+        let mut reading = HwReading::default();
+        for (event, scaled) in set.stop_and_read() {
+            // `None` means the event never got PMU time: leave it absent
+            // rather than reporting a misleading zero.
+            if let Some(v) = scaled.scaled() {
+                reading.counts.push((event.name(), v));
+                gep_obs::counter_add(&format!("hwc.{}.{}", self.label, event.name()), v);
+            }
+        }
+        Some(reading)
+    }
+
+    /// Stops the span now and returns the readings (also published to the
+    /// recorder, exactly as dropping would).
+    pub fn stop(mut self) -> Option<HwReading> {
+        self.finish()
+    }
+}
+
+impl Drop for HwSpan {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global; serialize the tests that install one.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn inert_without_a_recorder() {
+        let _g = lock();
+        let _ = gep_obs::take();
+        let span = HwSpan::start("nobody_listening");
+        assert!(!span.is_live());
+        assert_eq!(span.stop(), None);
+    }
+
+    #[test]
+    fn unavailable_records_reason_counter_and_nothing_else() {
+        let _g = lock();
+        gep_obs::install(gep_obs::Recorder::counters_only());
+        let denied = Availability::Unavailable {
+            reason: "mocked denial (perf_event_paranoid=3)".to_string(),
+        };
+        let span = HwSpan::start_with("ge", &denied);
+        assert!(!span.is_live());
+        assert_eq!(span.stop(), None);
+        let rec = gep_obs::take().unwrap();
+        assert_eq!(rec.counter("hwc.unavailable"), 1);
+        // Absent, not zero: no hwc.<label>.* keys at all.
+        assert!(
+            !rec.counters.keys().any(|k| k.starts_with("hwc.ge.")),
+            "denied spans must not publish event counters: {:?}",
+            rec.counters
+        );
+    }
+
+    #[test]
+    fn live_spans_publish_when_the_host_allows() {
+        let _g = lock();
+        gep_obs::install(gep_obs::Recorder::counters_only());
+        let span = HwSpan::start("smoke");
+        let live = span.is_live();
+        // Burn some cycles so a live counter has something to count.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(31).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let reading = span.stop();
+        let rec = gep_obs::take().unwrap();
+        if live {
+            let reading = reading.expect("live span must read");
+            // task_clock is a software event: it schedules even on VMs
+            // whose PMU rejects the hardware events.
+            let clock = reading
+                .get("task_clock_ns")
+                .expect("software clock always schedules");
+            assert!(clock > 0);
+            assert_eq!(rec.counter("hwc.smoke.task_clock_ns"), clock);
+            assert_eq!(rec.counter("hwc.unavailable"), 0);
+        } else {
+            // Denied host (the common container case): the degradation
+            // contract instead.
+            assert_eq!(reading, None);
+            assert_eq!(rec.counter("hwc.unavailable"), 1);
+            assert!(crate::probe::availability().reason().is_some());
+        }
+    }
+
+    #[test]
+    fn same_label_accumulates_across_spans() {
+        let _g = lock();
+        gep_obs::install(gep_obs::Recorder::counters_only());
+        let denied = Availability::Unavailable {
+            reason: "mock".to_string(),
+        };
+        drop(HwSpan::start_with("x", &denied));
+        drop(HwSpan::start_with("x", &denied));
+        let rec = gep_obs::take().unwrap();
+        assert_eq!(rec.counter("hwc.unavailable"), 2);
+    }
+}

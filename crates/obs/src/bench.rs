@@ -3,19 +3,25 @@
 //! `repro -- all --json` writes one of these files per reproduced
 //! figure/table so the measured numbers (miss counts, simulated seconds,
 //! update counts) land somewhere machine-readable that future PRs can diff
-//! against. Schema (version 1):
+//! against. Schema (version 2):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "experiment": "fig8",          // [A-Za-z0-9_.-]+, used in the filename
 //!   "title": "Figure 8: ...",
 //!   "quick": true,                 // was --quick passed?
 //!   "host": "optional free text",
 //!   "rows": [ { "n": 128, "gep_s": 0.01, ... }, ... ],
-//!   "counters": { "io.gep.seeks": 123, ... }   // optional
+//!   "counters": { "io.gep.seeks": 123, ... },  // optional, integers
+//!   "gauges": { "fit.c": 1.82, ... }           // optional, v2+: floats
 //! }
 //! ```
+//!
+//! Version history: v1 had no `gauges`; v2 adds the optional `gauges`
+//! object whose values are floats written via [`Json::from_f64`], so
+//! `NaN`/`±Infinity` land as the deterministic sentinel strings rather
+//! than `null`. [`validate`] accepts both versions.
 //!
 //! Rows are flat objects of scalars; each experiment chooses its own
 //! columns. [`validate`] enforces the envelope (not the per-experiment
@@ -26,8 +32,11 @@ use crate::json::Json;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-/// Current schema version, written to and required of every file.
-pub const SCHEMA_VERSION: i64 = 1;
+/// Current schema version, written to every new file.
+pub const SCHEMA_VERSION: i64 = 2;
+
+/// Oldest schema version [`validate`] still accepts (pre-`gauges` files).
+pub const MIN_SCHEMA_VERSION: i64 = 1;
 
 /// Builder for one `BENCH_<experiment>.json` document.
 #[derive(Clone, Debug)]
@@ -38,6 +47,7 @@ pub struct BenchDoc {
     host: Option<String>,
     rows: Vec<Json>,
     counters: Vec<(String, Json)>,
+    gauges: Vec<(String, Json)>,
 }
 
 impl BenchDoc {
@@ -55,6 +65,7 @@ impl BenchDoc {
             host: None,
             rows: Vec::new(),
             counters: Vec::new(),
+            gauges: Vec::new(),
         }
     }
 
@@ -73,6 +84,13 @@ impl BenchDoc {
     pub fn counter(&mut self, name: &str, value: u64) {
         self.counters
             .push((name.to_string(), Json::Int(value as i64)));
+    }
+
+    /// Attaches a named float (fit constants, ratios, recorder gauges).
+    /// Non-finite values serialize as the deterministic sentinel strings —
+    /// see [`Json::from_f64`].
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.gauges.push((name.to_string(), Json::from_f64(value)));
     }
 
     /// Number of rows so far.
@@ -99,6 +117,9 @@ impl BenchDoc {
         fields.push(("rows", Json::Arr(self.rows.clone())));
         if !self.counters.is_empty() {
             fields.push(("counters", Json::Obj(self.counters.clone())));
+        }
+        if !self.gauges.is_empty() {
+            fields.push(("gauges", Json::Obj(self.gauges.clone())));
         }
         Json::obj(fields)
     }
@@ -170,8 +191,12 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         return Err("document is not a JSON object".into());
     }
     match doc.get("schema_version").and_then(Json::as_i64) {
-        Some(SCHEMA_VERSION) => {}
-        Some(v) => return Err(format!("schema_version {v} != {SCHEMA_VERSION}")),
+        Some(v) if (MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&v) => {}
+        Some(v) => {
+            return Err(format!(
+                "schema_version {v} outside supported range {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}"
+            ))
+        }
         None => return Err("missing integer schema_version".into()),
     }
     let experiment = doc
@@ -215,6 +240,17 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    if let Some(gauges) = doc.get("gauges") {
+        let Json::Obj(fields) = gauges else {
+            return Err("gauges must be an object".into());
+        };
+        for (key, value) in fields {
+            // Numbers or the from_f64 sentinels ("NaN"/"Infinity"/...).
+            if value.as_gauge().is_none() {
+                return Err(format!("gauges.{key} must be a gauge value, got {value}"));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -231,6 +267,7 @@ mod tests {
         ]);
         d.row(vec![("n", Json::Int(256)), ("gep_s", Json::Float(4.0))]);
         d.counter("io.seeks", 17);
+        d.gauge("fit.c", 1.8125);
         d
     }
 
@@ -270,8 +307,30 @@ mod tests {
         let cases: Vec<(&str, Json)> = vec![
             ("not object", Json::Int(3)),
             (
-                "wrong version",
-                Json::obj(vec![("schema_version", Json::Int(2))]),
+                "future version",
+                Json::obj(vec![("schema_version", Json::Int(99))]),
+            ),
+            (
+                "gauges not an object",
+                Json::obj(vec![
+                    ("schema_version", Json::Int(2)),
+                    ("experiment", Json::Str("x".into())),
+                    ("title", Json::Str("t".into())),
+                    ("quick", Json::Bool(false)),
+                    ("rows", Json::Arr(vec![])),
+                    ("gauges", Json::Arr(vec![])),
+                ]),
+            ),
+            (
+                "gauge value not a gauge",
+                Json::obj(vec![
+                    ("schema_version", Json::Int(2)),
+                    ("experiment", Json::Str("x".into())),
+                    ("title", Json::Str("t".into())),
+                    ("quick", Json::Bool(false)),
+                    ("rows", Json::Arr(vec![])),
+                    ("gauges", Json::obj(vec![("g", Json::Str("fast".into()))])),
+                ]),
             ),
             (
                 "rows not objects",
@@ -300,6 +359,39 @@ mod tests {
         for (label, doc) in cases {
             assert!(validate(&doc).is_err(), "{label} should be rejected");
         }
+    }
+
+    #[test]
+    fn v1_documents_still_validate() {
+        // Files emitted before the gauges field (schema_version 1) must
+        // keep passing `repro validate` so old baselines stay comparable.
+        let v1 = Json::obj(vec![
+            ("schema_version", Json::Int(1)),
+            ("experiment", Json::Str("fig8".into())),
+            ("title", Json::Str("t".into())),
+            ("quick", Json::Bool(true)),
+            ("rows", Json::Arr(vec![Json::obj(vec![("n", Json::Int(64))])])),
+        ]);
+        validate(&v1).expect("v1 envelope must stay valid");
+    }
+
+    #[test]
+    fn nonfinite_gauges_roundtrip_in_documents() {
+        let mut d = BenchDoc::new("misses", "measured vs bound", true);
+        d.row(vec![("n", Json::Int(256))]);
+        d.gauge("ratio.nan", f64::NAN);
+        d.gauge("bound.inf", f64::INFINITY);
+        let doc = d.to_json();
+        validate(&doc).expect("sentinel gauges must validate");
+        let text = render(&doc);
+        let back = Json::parse(&text).expect("must re-parse");
+        validate(&back).unwrap();
+        let gauges = back.get("gauges").unwrap();
+        assert!(gauges.get("ratio.nan").unwrap().as_gauge().unwrap().is_nan());
+        assert_eq!(
+            gauges.get("bound.inf").unwrap().as_gauge(),
+            Some(f64::INFINITY)
+        );
     }
 
     #[test]

@@ -33,6 +33,32 @@ impl Json {
         )
     }
 
+    /// Converts an `f64` into a value that serializes deterministically.
+    /// JSON has no non-finite numbers, so `NaN` and the infinities become
+    /// the sentinel strings `"NaN"`, `"Infinity"`, `"-Infinity"` (which
+    /// [`Json::as_gauge`] maps back); finite values become [`Json::Float`].
+    pub fn from_f64(f: f64) -> Json {
+        match nonfinite_sentinel(f) {
+            Some(s) => Json::Str(s.to_string()),
+            None => Json::Float(f),
+        }
+    }
+
+    /// Gauge value as `f64`: accepts `Int`, `Float` and the non-finite
+    /// sentinel strings written by [`Json::from_f64`]. The inverse of
+    /// `from_f64` (NaN round-trips as NaN).
+    pub fn as_gauge(&self) -> Option<f64> {
+        match self {
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "Infinity" => Some(f64::INFINITY),
+                "-Infinity" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            other => other.as_f64(),
+        }
+    }
+
     /// First value under `key`, if this is an object containing it.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
@@ -148,10 +174,27 @@ impl fmt::Display for Json {
     }
 }
 
+/// The sentinel string a non-finite `f64` serializes as, or `None` for
+/// finite values. Every NaN bit pattern (including negative NaN) maps to
+/// the one `"NaN"` spelling so output is deterministic.
+fn nonfinite_sentinel(f: f64) -> Option<&'static str> {
+    if f.is_nan() {
+        Some("NaN")
+    } else if f == f64::INFINITY {
+        Some("Infinity")
+    } else if f == f64::NEG_INFINITY {
+        Some("-Infinity")
+    } else {
+        None
+    }
+}
+
 fn write_f64(f: f64, out: &mut String) {
-    if !f.is_finite() {
-        // JSON has no NaN/Infinity; null is the least-bad encoding.
-        out.push_str("null");
+    if let Some(s) = nonfinite_sentinel(f) {
+        // JSON has no NaN/Infinity; the quoted sentinel keeps the document
+        // valid while preserving *which* non-finite value it was (the old
+        // `null` encoding erased that and broke diffing).
+        write_escaped(s, out);
         return;
     }
     let s = format!("{f}");
@@ -511,6 +554,57 @@ mod tests {
             ),
         ]);
         assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn from_f64_maps_nonfinite_to_sentinels() {
+        assert_eq!(Json::from_f64(1.5), Json::Float(1.5));
+        assert_eq!(Json::from_f64(f64::NAN), Json::Str("NaN".into()));
+        assert_eq!(Json::from_f64(-f64::NAN), Json::Str("NaN".into()));
+        assert_eq!(Json::from_f64(f64::INFINITY), Json::Str("Infinity".into()));
+        assert_eq!(
+            Json::from_f64(f64::NEG_INFINITY),
+            Json::Str("-Infinity".into())
+        );
+    }
+
+    #[test]
+    fn nonfinite_floats_serialize_deterministically() {
+        // Writer path: a raw Float carrying a non-finite value must emit
+        // the quoted sentinel, not null, and must re-parse.
+        assert_eq!(Json::Float(f64::NAN).to_string(), "\"NaN\"");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "\"Infinity\"");
+        assert_eq!(Json::Float(f64::NEG_INFINITY).to_string(), "\"-Infinity\"");
+        let doc = Json::obj(vec![
+            ("ratio", Json::Float(f64::NAN)),
+            ("bound", Json::Float(f64::INFINITY)),
+        ]);
+        let reparsed = roundtrip(&doc);
+        assert!(reparsed.get("ratio").unwrap().as_gauge().unwrap().is_nan());
+        assert_eq!(
+            reparsed.get("bound").unwrap().as_gauge(),
+            Some(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn from_f64_gauges_roundtrip_through_text() {
+        // Constructor path: from_f64 output re-parses to an identical value
+        // and as_gauge inverts it, including the non-finite cases.
+        for v in [0.0, -2.5, 1e300, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let j = Json::from_f64(v);
+            let back = roundtrip(&j);
+            assert_eq!(back, j);
+            let g = back.as_gauge().expect("gauge values always read back");
+            if v.is_nan() {
+                assert!(g.is_nan());
+            } else {
+                assert_eq!(g, v);
+            }
+        }
+        // Sentinels are exact spellings: other strings are not gauges.
+        assert_eq!(Json::Str("nan".into()).as_gauge(), None);
+        assert_eq!(Json::Str("inf".into()).as_gauge(), None);
     }
 
     #[test]

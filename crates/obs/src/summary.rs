@@ -1,18 +1,47 @@
 //! Human-readable summary of a recording.
+//!
+//! Counters print in one sorted table (so related families group:
+//! `cache.*` rows come before `io.*`), except the hardware-counter family
+//! `hwc.*`, which gets its own section — raw perf counts run into the
+//! billions, so each row also shows a millions-scaled reading.
 
 use crate::recorder::Recorder;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// `12_345_678` → `"12.35M"`, for counters large enough that the raw
+/// digits stop being readable.
+fn millions(v: u64) -> Option<String> {
+    (v >= 1_000_000).then(|| format!("{:.2}M", v as f64 / 1e6))
+}
+
 /// Formats counters, gauges and per-(category, name) span aggregates as a
 /// plain-text table.
 pub fn summary(rec: &Recorder) -> String {
     let mut out = String::new();
-    if !rec.counters.is_empty() {
+    let (hwc, general): (Vec<_>, Vec<_>) = rec
+        .counters
+        .iter()
+        .partition(|(name, _)| name.starts_with("hwc."));
+    if !general.is_empty() {
         out.push_str("counters:\n");
-        let width = rec.counters.keys().map(String::len).max().unwrap_or(0);
-        for (name, value) in &rec.counters {
+        let width = general.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in &general {
             let _ = writeln!(out, "  {name:<width$}  {value}");
+        }
+    }
+    if !hwc.is_empty() {
+        out.push_str("hardware counters (hwc.*):\n");
+        let width = hwc.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in &hwc {
+            match millions(**value) {
+                Some(m) => {
+                    let _ = writeln!(out, "  {name:<width$}  {value:>15}  ({m})");
+                }
+                None => {
+                    let _ = writeln!(out, "  {name:<width$}  {value:>15}");
+                }
+            }
         }
     }
     if !rec.gauges.is_empty() {
@@ -65,6 +94,33 @@ mod tests {
         assert!(text.contains("igep.calls"));
         assert!(text.contains("threads"));
         assert!(text.contains("igep.F: 1 x"));
+    }
+
+    #[test]
+    fn counters_sort_cache_before_io_and_hwc_gets_its_own_section() {
+        let _g = crate::recorder::test_lock();
+        install(Recorder::new());
+        counter_add("io.gep.reads", 7);
+        counter_add("cache.l1.misses", 3);
+        counter_add("hwc.ge.llc_misses", 123_456_789);
+        counter_add("hwc.unavailable", 1);
+        let rec = take().unwrap();
+        let text = summary(&rec);
+        let cache_at = text.find("cache.l1.misses").expect("cache row present");
+        let io_at = text.find("io.gep.reads").expect("io row present");
+        assert!(cache_at < io_at, "cache.* must precede io.*:\n{text}");
+        // hwc rows live under their own header, after the general table,
+        // with the millions-scaled reading alongside the raw count.
+        let hwc_header = text.find("hardware counters (hwc.*):").expect("hwc section");
+        assert!(io_at < hwc_header, "hwc section comes after counters:\n{text}");
+        assert!(text.contains("123456789"), "{text}");
+        assert!(text.contains("(123.46M)"), "{text}");
+        // Small hwc values print raw only — no misleading 0.00M.
+        let unavailable_line = text
+            .lines()
+            .find(|l| l.contains("hwc.unavailable"))
+            .expect("unavailable row");
+        assert!(!unavailable_line.contains('M'), "{unavailable_line}");
     }
 
     #[test]

@@ -61,6 +61,11 @@ where
         .arg("n", c.n() as i64)
         .arg("base", base_size as i64)
         .arg("threads", rayon::current_num_threads() as i64);
+    // Hardware counters for the whole parallel region: the span opens with
+    // the inherit flag, so rayon workers spawned under it are counted too.
+    // Inert without a recorder; degrades to `hwc.unavailable` on denied
+    // hosts.
+    let _hw = gep_hwc::HwSpan::start("parallel.igep");
     // Resolve the kernel backend before the first rayon join: the
     // env/profile lookup happens once here on the calling thread; worker
     // threads then see only the cached atomic/OnceLock fast path (the
