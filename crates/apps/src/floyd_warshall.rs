@@ -1,166 +1,66 @@
 //! Floyd–Warshall all-pairs shortest paths as a GEP instance.
 //!
-//! `Σ` is the full set `[0,n)³` and `f(x, u, v, ·) = min(x, u + v)` —
-//! the classic relaxation `d[i][j] = min(d[i][j], d[i][k] + d[k][j])`.
-//! I-GEP is exact for this spec (it is one of the paper's motivating
-//! applications); C-GEP of course is too.
+//! `Σ` is the full set `[0,n)³` and `f(x, u, v, ·) = min(x, u ⊗ v)` —
+//! the classic relaxation `d[i][j] = min(d[i][j], d[i][k] + d[k][j])`,
+//! i.e. the closure update of the tropical semiring. I-GEP is exact for
+//! this spec (it is one of the paper's motivating applications).
 //!
-//! Two specs are provided:
+//! The distance-only spec is simply the generic algebraic closure
+//! [`SemiringSpec`] instantiated at the tropical algebra of the weight
+//! type ([`MinPlusI64`] / [`MinPlusF64`]); [`FwSpec`] survives as a type
+//! alias so call sites read as before. [`FwPathSpec`] additionally
+//! carries a successor matrix for path reconstruction.
 //!
-//! * [`FwSpec`] — distances only, generic over a [`Weight`]
-//!   (`i64` with a large sentinel infinity, or `f64` with IEEE infinity).
-//!   Ships a vectorisable base-case kernel for the optimised engine.
-//! * [`FwPathSpec`] — distance plus successor matrix for path
-//!   reconstruction, elementwise `(dist, next)` pairs.
+//! Historical note: `i64` weight addition used to be plain `+`, which
+//! both wrapped on large finite weights and let `INFINITY + negative`
+//! undercut the sentinel (a missing edge could "win" a relaxation). The
+//! algebra's `⊗` ([`MinPlusI64::mul`]) saturates and absorbs at
+//! [`TROPICAL_INF`](gep_core::algebra::TROPICAL_INF); [`Weight::wadd`]
+//! now delegates to it, so every caller inherits the fix.
 
-use gep_core::{BoxShape, GepMat, GepSpec};
-use gep_kernels::{KernelSet, ShapedKernel};
+use crate::closure::SemiringSpec;
+use gep_core::algebra::{MinPlusF64, MinPlusI64, UpdateAlgebra, TROPICAL_INF};
+use gep_kernels::AlgebraKernels;
 use gep_matrix::Matrix;
 
-/// Edge-weight abstraction: a totally ordered additive monoid with an
-/// absorbing-enough infinity.
+/// Scalar-to-algebra bridge for shortest-path weights: names the tropical
+/// algebra of an element type and re-exposes its sentinels under the
+/// historical names (`INFINITY` = tropical `ZERO`, `ZERO` = tropical
+/// `ONE`).
+///
+/// Reduced to a façade over [`UpdateAlgebra`]: the update logic and the
+/// backend kernel hook both live on [`Weight::Alg`] now.
 pub trait Weight: Copy + Send + Sync + PartialEq + PartialOrd + std::fmt::Debug + 'static {
-    /// "No edge" marker; must satisfy `INFINITY + x >= anything` under
-    /// [`Weight::wadd`].
+    /// The tropical algebra this weight type instantiates.
+    type Alg: AlgebraKernels<Elem = Self>;
+    /// "No edge" marker — the algebra's `⊕`-identity / `⊗`-annihilator.
     const INFINITY: Self;
-    /// Additive identity.
+    /// Path-length identity — the algebra's `⊗`-identity.
     const ZERO: Self;
-    /// Overflow-safe addition (`INFINITY` propagates).
-    fn wadd(self, other: Self) -> Self;
-    /// Specialized min-plus kernel for this weight type from the active
-    /// backend's kernel set, if it ships one. `None` keeps the spec on
-    /// its own scalar kernel.
+    /// Tropical `⊗` (path concatenation). Delegates to the algebra, which
+    /// makes it absorbing at `INFINITY` and overflow-safe.
     #[inline(always)]
-    fn fw_kernel(set: &'static KernelSet) -> Option<ShapedKernel<Self>> {
-        let _ = set;
-        None
+    fn wadd(self, other: Self) -> Self {
+        <Self::Alg as UpdateAlgebra>::mul(self, other)
     }
 }
 
 impl Weight for i64 {
-    /// Large sentinel chosen so that `INFINITY + INFINITY` does not wrap.
-    const INFINITY: i64 = i64::MAX / 4;
+    type Alg = MinPlusI64;
+    /// The shared sentinel [`TROPICAL_INF`](gep_core::algebra::TROPICAL_INF).
+    const INFINITY: i64 = TROPICAL_INF;
     const ZERO: i64 = 0;
-    #[inline(always)]
-    fn wadd(self, other: i64) -> i64 {
-        self + other
-    }
-    #[inline(always)]
-    fn fw_kernel(set: &'static KernelSet) -> Option<ShapedKernel<i64>> {
-        Some(set.i64_fw)
-    }
 }
 
 impl Weight for f64 {
+    type Alg = MinPlusF64;
     const INFINITY: f64 = f64::INFINITY;
     const ZERO: f64 = 0.0;
-    #[inline(always)]
-    fn wadd(self, other: f64) -> f64 {
-        self + other
-    }
-    #[inline(always)]
-    fn fw_kernel(set: &'static KernelSet) -> Option<ShapedKernel<f64>> {
-        Some(set.f64_fw)
-    }
 }
 
-/// Distance-only Floyd–Warshall spec.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct FwSpec<W = i64>(std::marker::PhantomData<W>);
-
-impl<W> FwSpec<W> {
-    /// Creates the spec.
-    pub const fn new() -> Self {
-        Self(std::marker::PhantomData)
-    }
-}
-
-impl<W: Weight> GepSpec for FwSpec<W> {
-    type Elem = W;
-
-    #[inline(always)]
-    fn update(&self, _i: usize, _j: usize, _k: usize, x: W, u: W, v: W, _w: W) -> W {
-        let cand = u.wadd(v);
-        if cand < x {
-            cand
-        } else {
-            x
-        }
-    }
-
-    #[inline(always)]
-    fn in_sigma(&self, _i: usize, _j: usize, _k: usize) -> bool {
-        true
-    }
-
-    #[inline(always)]
-    fn sigma_intersects(&self, _: (usize, usize), _: (usize, usize), _: (usize, usize)) -> bool {
-        true
-    }
-
-    #[inline(always)]
-    fn tau(&self, n: usize, _i: usize, _j: usize, l: i64) -> Option<usize> {
-        (l >= 0 && n > 0).then(|| (l as usize).min(n - 1))
-    }
-
-    /// Vectorisable min-plus tile kernel: for each `(k, i)` the inner loop
-    /// runs over a contiguous row slice of both `X` and `V`.
-    ///
-    /// The aliasing refresh of the generic kernel (`u` when `j == k`) is
-    /// preserved by splitting the `j`-range at `k`; `w` is unused by the
-    /// update, so no pivot refresh is needed.
-    unsafe fn kernel(&self, m: GepMat<'_, W>, xr: usize, xc: usize, kk: usize, s: usize) {
-        for k in kk..kk + s {
-            let vrow = m.row_ptr(k);
-            for i in xr..xr + s {
-                let mut u = m.get(i, k);
-                let xrow = m.row_ptr(i);
-                // Segment 1: j < k (u fixed).
-                let mid = k.clamp(xc, xc + s);
-                for j in xc..mid {
-                    let cand = u.wadd(*vrow.add(j));
-                    if cand < *xrow.add(j) {
-                        *xrow.add(j) = cand;
-                    }
-                }
-                // Segment 2: j == k (updates c[i,k] itself).
-                if (xc..xc + s).contains(&k) {
-                    let cand = u.wadd(*vrow.add(k));
-                    if cand < *xrow.add(k) {
-                        *xrow.add(k) = cand;
-                        u = cand;
-                    }
-                }
-                // Segment 3: j > k.
-                for j in (mid + usize::from((xc..xc + s).contains(&k)))..xc + s {
-                    let cand = u.wadd(*vrow.add(j));
-                    if cand < *xrow.add(j) {
-                        *xrow.add(j) = cand;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Routes the base case through the active `gep-kernels` backend when
-    /// the weight type has a specialized kernel ([`Weight::fw_kernel`]);
-    /// otherwise (or on the `Generic` backend) falls back to
-    /// [`FwSpec::kernel`].
-    unsafe fn kernel_shaped(
-        &self,
-        m: GepMat<'_, W>,
-        xr: usize,
-        xc: usize,
-        kk: usize,
-        s: usize,
-        shape: BoxShape,
-    ) {
-        match gep_kernels::dispatch().and_then(W::fw_kernel) {
-            Some(kernel) => kernel(m, xr, xc, kk, s, shape),
-            None => self.kernel(m, xr, xc, kk, s),
-        }
-    }
-}
+/// Distance-only Floyd–Warshall spec: the algebraic closure over the
+/// weight type's tropical algebra.
+pub type FwSpec<W = i64> = SemiringSpec<<W as Weight>::Alg>;
 
 /// Distance + successor spec for path reconstruction.
 ///
@@ -174,7 +74,7 @@ pub struct FwPathSpec;
 /// Sentinel "no successor".
 pub const NO_NEXT: u32 = u32::MAX;
 
-impl GepSpec for FwPathSpec {
+impl gep_core::GepSpec for FwPathSpec {
     type Elem = (i64, u32);
 
     #[inline(always)]
@@ -324,6 +224,57 @@ mod tests {
             apsp(&mut c, base);
             assert_eq!(c, oracle, "base={base}");
         }
+    }
+
+    /// Regression for the historical `wadd` overflow bug: with plain `+`,
+    /// `INFINITY + (−w)` is *less than* `INFINITY`, so relaxing through a
+    /// missing edge fabricated reachability; and two near-sentinel finite
+    /// weights wrapped `i64`. Neither may happen now.
+    #[test]
+    fn missing_edges_and_near_sentinel_weights_do_not_undercut_infinity() {
+        let inf = <i64 as Weight>::INFINITY;
+        // Vertex 1 has *no* outgoing edges; 2 → 1 is a negative edge.
+        // Old bug: d[0][1] = d[0][2] + d[2][1] with d[0][2] = INF gave
+        // INF − 5 < INF. Correct: 0 cannot reach 1.
+        let init = Matrix::from_rows(&[
+            vec![0, inf, inf, 3],
+            vec![inf, 0, inf, inf],
+            vec![-5, -5, 0, inf],
+            vec![inf, inf, inf, 0],
+        ]);
+        for base in [1usize, 2, 4] {
+            let mut d = init.clone();
+            apsp(&mut d, base);
+            assert_eq!(d[(0, 1)], inf, "missing edge undercut, base={base}");
+            assert_eq!(d[(3, 2)], inf);
+            assert_eq!(d[(0, 3)], 3);
+            assert_eq!(d[(2, 3)], -2, "finite relaxation must still work");
+        }
+
+        // Near-sentinel finite weights: the concatenation saturates to
+        // INFINITY instead of wrapping negative and "winning".
+        let big = inf - 1;
+        let init = Matrix::from_rows(&[
+            vec![0, big, inf, inf],
+            vec![inf, 0, big, inf],
+            vec![inf, inf, 0, inf],
+            vec![inf, inf, inf, 0],
+        ]);
+        let mut d = init.clone();
+        apsp(&mut d, 2);
+        assert_eq!(d[(0, 1)], big);
+        assert_eq!(d[(0, 2)], inf, "big + big must saturate, not wrap");
+        assert_eq!(d, fw_reference(&init));
+    }
+
+    #[test]
+    fn wadd_is_absorbing_and_saturating() {
+        let inf = <i64 as Weight>::INFINITY;
+        assert_eq!(inf.wadd(-100), inf);
+        assert_eq!((-100).wadd(inf), inf);
+        assert_eq!((inf - 1).wadd(inf - 1), inf);
+        assert_eq!(5i64.wadd(7), 12);
+        assert_eq!(f64::INFINITY.wadd(-100.0), f64::INFINITY);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! nonsingular (e.g. diagonally dominant or positive definite), as in the
 //! paper's experiments.
 
+use gep_core::algebra::PlusTimesF64;
 use gep_core::{BoxShape, GepMat, GepSpec};
+use gep_kernels::AlgebraKernels;
 use gep_matrix::Matrix;
 
 /// Gaussian elimination without pivoting.
@@ -73,10 +75,12 @@ impl GepSpec for GaussianSpec {
         }
     }
 
-    /// Routes the base case through the active `gep-kernels` backend
-    /// (register-blocked GEMM-like panel on disjoint boxes, aliasing-safe
-    /// sweep elsewhere); the `Generic` backend falls back to
-    /// [`GaussianSpec::kernel`].
+    /// Routes the base case through the active backend's elimination
+    /// kernel for the real field
+    /// ([`gep_kernels::AlgebraKernels::elim_kernel`] on
+    /// [`PlusTimesF64`] — register-blocked GEMM-like panel on disjoint
+    /// boxes, aliasing-safe sweep elsewhere); the `Generic` backend falls
+    /// back to [`GaussianSpec::kernel`].
     unsafe fn kernel_shaped(
         &self,
         m: GepMat<'_, f64>,
@@ -86,8 +90,8 @@ impl GepSpec for GaussianSpec {
         s: usize,
         shape: BoxShape,
     ) {
-        match gep_kernels::dispatch() {
-            Some(set) => (set.f64_ge)(m, xr, xc, kk, s, shape),
+        match gep_kernels::dispatch().and_then(PlusTimesF64::elim_kernel) {
+            Some(kernel) => kernel(m, xr, xc, kk, s, shape),
             None => self.kernel(m, xr, xc, kk, s),
         }
     }

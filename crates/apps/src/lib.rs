@@ -6,6 +6,14 @@
 //! parallel engine, the cache-simulated and out-of-core stores) runs them
 //! unchanged:
 //!
+//! * [`closure`] — the generic algebraic closure [`SemiringSpec`]
+//!   (`x ← x ⊕ u ⊗ v`, full `Σ`) over any
+//!   [`UpdateAlgebra`](gep_core::algebra::UpdateAlgebra): min-plus APSP,
+//!   bottleneck (max-min) widest paths, boolean reachability, …;
+//! * [`elimination`] — the generic [`ElimSpec`]
+//!   (`x ← x ⊖ u ⊗ w⁻¹ ⊗ v`, `Σ = {i > k ∧ j > k}`) over any
+//!   [`EliminationAlgebra`](gep_core::algebra::EliminationAlgebra):
+//!   bitsliced GF(2) block elimination, prime fields GF(p), the reals;
 //! * [`floyd_warshall`] — all-pairs shortest paths (min-plus, full `Σ`),
 //!   with optional successor tracking for path reconstruction;
 //! * [`gaussian`] — Gaussian elimination without pivoting
@@ -24,6 +32,8 @@
 //! * [`reference`] — independent textbook implementations used as test
 //!   oracles throughout the workspace.
 
+pub mod closure;
+pub mod elimination;
 pub mod floyd_warshall;
 pub mod gaussian;
 pub mod lu;
@@ -32,8 +42,10 @@ pub mod reference;
 pub mod simple_dp;
 pub mod transitive_closure;
 
+pub use closure::SemiringSpec;
+pub use elimination::ElimSpec;
 pub use floyd_warshall::{FwPathSpec, FwSpec, Weight};
 pub use gaussian::GaussianSpec;
 pub use lu::LuSpec;
-pub use matmul::{MatMulEmbedSpec, Semiring};
+pub use matmul::MatMulEmbedSpec;
 pub use transitive_closure::TransitiveClosureSpec;

@@ -1,79 +1,44 @@
-//! Matrix multiplication via GEP.
+//! Matrix multiplication via GEP, generic over an update algebra.
 //!
 //! Two routes, both from the paper:
 //!
 //! 1. **The GEP embedding** ([`MatMulEmbedSpec`]): to compute
-//!    `C += A · B` for `n × n` matrices, place `B` in the top-right block
+//!    `C ⊕= A ⊗ B` for `n × n` matrices, place `B` in the top-right block
 //!    and `A` in the bottom-left block of a `2n × 2n` matrix and take
-//!    `Σ = {⟨i,j,k⟩ : i ≥ n ∧ j ≥ n ∧ k < n}` with `f = x + u·v`:
-//!    `c[i,j] += c[i,k]·c[k,j]` then reads `A[i−n,k]` and `B[k,j−n]` and
-//!    accumulates into the bottom-right block. I-GEP is exact here.
+//!    `Σ = {⟨i,j,k⟩ : i ≥ n ∧ j ≥ n ∧ k < n}` with `f = x ⊕ u ⊗ v`:
+//!    `c[i,j] ⊕= c[i,k] ⊗ c[k,j]` then reads `A[i−n,k]` and `B[k,j−n]`
+//!    and accumulates into the bottom-right block. I-GEP is exact here.
 //!
 //! 2. **The direct recursion** ([`matmul_dac`]): the `D`-shaped
 //!    divide-and-conquer over three separate matrices — each half of the
 //!    `k` range spawns four independent quadrant products, which is where
 //!    the paper's improved `O(n³/p + n)` parallel bound for MM comes from
-//!    (Section 3). Generic over a [`Semiring`], so `(+, ×)` gives numeric
-//!    MM and `(min, +)` gives distance products. Notably the recursion
-//!    never reassociates the two `k`-half contributions, matching the
-//!    paper's remark that associativity of addition is not assumed.
+//!    (Section 3). Notably the recursion never reassociates the two
+//!    `k`-half contributions, matching the paper's remark that
+//!    associativity of addition is not assumed.
+//!
+//! Both are generic over an
+//! [`UpdateAlgebra`](gep_core::algebra::UpdateAlgebra) (the historical
+//! local `Semiring` trait and `MinPlus` newtype are retired): instantiate
+//! with [`PlusTimesF64`] for numeric MM,
+//! [`MinPlusI64`](gep_core::algebra::MinPlusI64) for distance products,
+//! [`OrAndBool`](gep_core::algebra::OrAndBool) for boolean products, and
+//! so on. The algebra is a type *tag*, so plain `i64`/`f64` matrices work
+//! directly — `matmul::<MinPlusI64>(&w, &w, 8)` is the tropical square of
+//! an ordinary `Matrix<i64>`.
 //!
 //! The [`Joiner`] parameter lets `gep-parallel` run the same recursion
 //! multithreaded.
 
+use gep_core::algebra::PlusTimesF64;
 use gep_core::{BoxShape, GepMat, GepSpec, Joiner, Serial};
-use gep_kernels::KernelSet;
+use gep_kernels::AlgebraKernels;
 use gep_matrix::Matrix;
+use std::marker::PhantomData;
 
-/// An accumulating `C ⊕= A ⊗ B` tile over raw panel pointers, in the
-/// calling convention of [`gep_kernels::MmPanel`]: `c` is `mi × nj` with
-/// row stride `ldc`, `a` is `mi × kd` (stride `lda`), `b` is `kd × nj`
-/// (stride `ldb`); `a`/`b` must not overlap `c`.
-pub type TilePanel<T> =
-    unsafe fn(*mut T, usize, *const T, usize, *const T, usize, usize, usize, usize);
+pub use gep_kernels::TilePanel;
 
-/// A semiring for divide-and-conquer matrix products.
-pub trait Semiring: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
-    /// The additive identity (initial value of an accumulating product).
-    const ADD_IDENTITY: Self;
-    /// `x ⊕ (u ⊗ v)`.
-    fn fma(x: Self, u: Self, v: Self) -> Self;
-    /// Specialized accumulating tile from the active backend's kernel
-    /// set, if it ships one for this element type. `None` keeps callers
-    /// on the scalar [`Semiring::fma`] loop.
-    #[inline(always)]
-    fn mm_panel(set: &'static KernelSet) -> Option<TilePanel<Self>> {
-        let _ = set;
-        None
-    }
-}
-
-/// Ordinary arithmetic: `x + u * v`.
-impl Semiring for f64 {
-    const ADD_IDENTITY: f64 = 0.0;
-    #[inline(always)]
-    fn fma(x: f64, u: f64, v: f64) -> f64 {
-        x + u * v
-    }
-    #[inline(always)]
-    fn mm_panel(set: &'static KernelSet) -> Option<TilePanel<f64>> {
-        Some(set.f64_mm_acc)
-    }
-}
-
-/// Tropical (min-plus) semiring on saturating `i64` — distance products.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub struct MinPlus(pub i64);
-
-impl Semiring for MinPlus {
-    const ADD_IDENTITY: MinPlus = MinPlus(i64::MAX / 4);
-    #[inline(always)]
-    fn fma(x: MinPlus, u: MinPlus, v: MinPlus) -> MinPlus {
-        MinPlus(x.0.min(u.0.saturating_add(v.0)))
-    }
-}
-
-/// The `2n × 2n` GEP embedding of `C += A · B`.
+/// The `2n × 2n` GEP embedding of `C ⊕= A ⊗ B` over the algebra `A`.
 ///
 /// Layout of the embedding matrix `c` (`m = 2n`):
 ///
@@ -83,17 +48,37 @@ impl Semiring for MinPlus {
 /// rows n..2n     A           C
 /// ```
 #[derive(Clone, Copy, Debug)]
-pub struct MatMulEmbedSpec {
+pub struct MatMulEmbedSpec<A = PlusTimesF64> {
     /// Half-side: the size of the factor matrices.
     pub n: usize,
+    _alg: PhantomData<A>,
 }
 
-impl GepSpec for MatMulEmbedSpec {
-    type Elem = f64;
+impl<A> MatMulEmbedSpec<A> {
+    /// Creates the embedding spec for `n × n` factors.
+    pub const fn new(n: usize) -> Self {
+        Self {
+            n,
+            _alg: PhantomData,
+        }
+    }
+}
+
+impl<A: AlgebraKernels> GepSpec for MatMulEmbedSpec<A> {
+    type Elem = A::Elem;
 
     #[inline(always)]
-    fn update(&self, _i: usize, _j: usize, _k: usize, x: f64, u: f64, v: f64, _w: f64) -> f64 {
-        x + u * v
+    fn update(
+        &self,
+        _i: usize,
+        _j: usize,
+        _k: usize,
+        x: A::Elem,
+        u: A::Elem,
+        v: A::Elem,
+        _w: A::Elem,
+    ) -> A::Elem {
+        A::fma(x, u, v)
     }
 
     #[inline(always)]
@@ -117,7 +102,7 @@ impl GepSpec for MatMulEmbedSpec {
     }
 
     /// Accumulating tile kernel (`ikj` order, contiguous inner loop).
-    unsafe fn kernel(&self, m: GepMat<'_, f64>, xr: usize, xc: usize, kk: usize, s: usize) {
+    unsafe fn kernel(&self, m: GepMat<'_, A::Elem>, xr: usize, xc: usize, kk: usize, s: usize) {
         // Inside a tile either every (i, j, k) is in Σ or membership is
         // decided per-axis; clip the ranges instead of testing per cell.
         let i_lo = xr.max(self.n);
@@ -129,29 +114,30 @@ impl GepSpec for MatMulEmbedSpec {
                 let u = m.get(i, k);
                 let vrow = m.row_ptr(k);
                 for j in j_lo..xc + s {
-                    *xrow.add(j) += u * *vrow.add(j);
+                    *xrow.add(j) = A::fma(*xrow.add(j), u, *vrow.add(j));
                 }
             }
         }
     }
 
-    /// Routes the clipped box through the active backend's `C += A·B`
-    /// panel. The clip is always exact (`Σ` intersected with any box is a
-    /// dense cuboid), and the written region (`i ≥ n ∧ j ≥ n`) can never
-    /// overlap the `A` strip (columns `< n`) or the `B` strip (rows
-    /// `< n`), so the packed panel is sound on **every** box shape — the
-    /// `shape` argument is not needed here.
+    /// Routes the clipped box through the active backend's accumulating
+    /// panel for this algebra ([`AlgebraKernels::mm_panel`]). The clip is
+    /// always exact (`Σ` intersected with any box is a dense cuboid), and
+    /// the written region (`i ≥ n ∧ j ≥ n`) can never overlap the `A`
+    /// strip (columns `< n`) or the `B` strip (rows `< n`), so the packed
+    /// panel is sound on **every** box shape — the `shape` argument is not
+    /// needed here.
     unsafe fn kernel_shaped(
         &self,
-        m: GepMat<'_, f64>,
+        m: GepMat<'_, A::Elem>,
         xr: usize,
         xc: usize,
         kk: usize,
         s: usize,
         _shape: BoxShape,
     ) {
-        let set = match gep_kernels::dispatch() {
-            Some(set) => set,
+        let panel = match gep_kernels::dispatch().and_then(|set| A::mm_panel(set, false)) {
+            Some(panel) => panel,
             None => return self.kernel(m, xr, xc, kk, s),
         };
         let i_lo = xr.max(self.n);
@@ -164,7 +150,7 @@ impl GepSpec for MatMulEmbedSpec {
             return;
         }
         let ld = m.n();
-        (set.f64_mm_acc)(
+        panel(
             m.row_ptr(i_lo).add(j_lo),
             ld,
             m.row_ptr(i_lo).add(kk).cast_const(),
@@ -178,41 +164,41 @@ impl GepSpec for MatMulEmbedSpec {
     }
 }
 
-/// Computes `C += A · B` through the GEP embedding, using the optimised
+/// Computes `C ⊕= A ⊗ B` through the GEP embedding, using the optimised
 /// sequential I-GEP engine; returns the updated `C`.
 ///
 /// # Panics
 /// Panics unless `a`, `b`, `c` are square of equal power-of-two side.
-pub fn matmul_gep(
-    a: &Matrix<f64>,
-    b: &Matrix<f64>,
-    c: Matrix<f64>,
+pub fn matmul_gep<A: AlgebraKernels>(
+    a: &Matrix<A::Elem>,
+    b: &Matrix<A::Elem>,
+    c: Matrix<A::Elem>,
     base_size: usize,
-) -> Matrix<f64> {
+) -> Matrix<A::Elem> {
     let n = a.n();
     assert!(n.is_power_of_two() && b.n() == n && c.n() == n);
     let m = 2 * n;
     let mut emb = Matrix::from_fn(m, m, |i, j| match (i < n, j < n) {
-        (true, true) => 0.0,
+        (true, true) => A::ZERO,
         (true, false) => b[(i, j - n)],
         (false, true) => a[(i - n, j)],
         (false, false) => c[(i - n, j - n)],
     });
-    gep_core::igep_opt(&MatMulEmbedSpec { n }, &mut emb, base_size);
+    gep_core::igep_opt(&MatMulEmbedSpec::<A>::new(n), &mut emb, base_size);
     Matrix::from_fn(n, n, |i, j| emb[(i + n, j + n)])
 }
 
-/// `C += A · B` by direct divide-and-conquer (the `D`-only recursion),
+/// `C ⊕= A ⊗ B` by direct divide-and-conquer (the `D`-only recursion),
 /// with a joiner for optional parallelism and an iterative `base_size`
 /// kernel.
 ///
 /// # Panics
 /// Panics unless all three matrices are square of equal power-of-two side.
-pub fn matmul_dac<T: Semiring, J: Joiner>(
+pub fn matmul_dac<A: AlgebraKernels, J: Joiner>(
     joiner: &J,
-    c: &mut Matrix<T>,
-    a: &Matrix<T>,
-    b: &Matrix<T>,
+    c: &mut Matrix<A::Elem>,
+    a: &Matrix<A::Elem>,
+    b: &Matrix<A::Elem>,
     base_size: usize,
 ) {
     let n = c.n();
@@ -222,13 +208,18 @@ pub fn matmul_dac<T: Semiring, J: Joiner>(
     let bh = RoMat::new(b);
     // SAFETY: `ch` exclusively borrows `c`; `a` and `b` are only read.
     // `mm_rec` writes disjoint C-quadrants in each parallel group.
-    unsafe { mm_rec(joiner, ch, ah, bh, 0, 0, 0, n, base_size) }
+    unsafe { mm_rec::<A, J>(joiner, ch, ah, bh, 0, 0, 0, n, base_size) }
 }
 
-/// Convenience: `A · B` from scratch with the serial engine.
-pub fn matmul<T: Semiring>(a: &Matrix<T>, b: &Matrix<T>, base_size: usize) -> Matrix<T> {
-    let mut c = Matrix::square(a.n(), T::ADD_IDENTITY);
-    matmul_dac(&Serial, &mut c, a, b, base_size);
+/// Convenience: `A ⊗ B` from scratch with the serial engine, starting the
+/// accumulator at the algebra's `ZERO`.
+pub fn matmul<A: AlgebraKernels>(
+    a: &Matrix<A::Elem>,
+    b: &Matrix<A::Elem>,
+    base_size: usize,
+) -> Matrix<A::Elem> {
+    let mut c = Matrix::square(a.n(), A::ZERO);
+    matmul_dac::<A, _>(&Serial, &mut c, a, b, base_size);
     c
 }
 
@@ -275,7 +266,7 @@ impl<'a, T: Copy> RoMat<'a, T> {
     }
 }
 
-/// `C[ci.., cj..] += A[ci.., kk..] ⊗ B[kk.., cj..]`, quadrant recursion.
+/// `C[ci.., cj..] ⊕= A[ci.., kk..] ⊗ B[kk.., cj..]`, quadrant recursion.
 ///
 /// Each `k`-half spawns its four quadrant products concurrently (they
 /// write disjoint C-quadrants); the two halves are sequenced so that the
@@ -286,11 +277,11 @@ impl<'a, T: Copy> RoMat<'a, T> {
 /// Caller guarantees exclusive access to the `C` window and stability of
 /// the `A`/`B` windows.
 #[allow(clippy::too_many_arguments)]
-unsafe fn mm_rec<T: Semiring, J: Joiner>(
+unsafe fn mm_rec<A: AlgebraKernels, J: Joiner>(
     joiner: &J,
-    c: GepMat<'_, T>,
-    a: RoMat<'_, T>,
-    b: RoMat<'_, T>,
+    c: GepMat<'_, A::Elem>,
+    a: RoMat<'_, A::Elem>,
+    b: RoMat<'_, A::Elem>,
     ci: usize,
     cj: usize,
     kk: usize,
@@ -298,45 +289,45 @@ unsafe fn mm_rec<T: Semiring, J: Joiner>(
     base: usize,
 ) {
     if s <= base {
-        mm_kernel(c, a, b, ci, cj, kk, s);
+        mm_kernel::<A>(c, a, b, ci, cj, kk, s);
         return;
     }
     let h = s / 2;
     joiner.join4(
-        || mm_rec(joiner, c, a, b, ci, cj, kk, h, base),
-        || mm_rec(joiner, c, a, b, ci, cj + h, kk, h, base),
-        || mm_rec(joiner, c, a, b, ci + h, cj, kk, h, base),
-        || mm_rec(joiner, c, a, b, ci + h, cj + h, kk, h, base),
+        || mm_rec::<A, J>(joiner, c, a, b, ci, cj, kk, h, base),
+        || mm_rec::<A, J>(joiner, c, a, b, ci, cj + h, kk, h, base),
+        || mm_rec::<A, J>(joiner, c, a, b, ci + h, cj, kk, h, base),
+        || mm_rec::<A, J>(joiner, c, a, b, ci + h, cj + h, kk, h, base),
     );
     joiner.join4(
-        || mm_rec(joiner, c, a, b, ci, cj, kk + h, h, base),
-        || mm_rec(joiner, c, a, b, ci, cj + h, kk + h, h, base),
-        || mm_rec(joiner, c, a, b, ci + h, cj, kk + h, h, base),
-        || mm_rec(joiner, c, a, b, ci + h, cj + h, kk + h, h, base),
+        || mm_rec::<A, J>(joiner, c, a, b, ci, cj, kk + h, h, base),
+        || mm_rec::<A, J>(joiner, c, a, b, ci, cj + h, kk + h, h, base),
+        || mm_rec::<A, J>(joiner, c, a, b, ci + h, cj, kk + h, h, base),
+        || mm_rec::<A, J>(joiner, c, a, b, ci + h, cj + h, kk + h, h, base),
     );
 }
 
-/// `ikj` tile kernel for the direct recursion. When the semiring has a
-/// backend panel ([`Semiring::mm_panel`]) the tile is handed to it — the
-/// three windows live in separate matrices, so the disjointness the panel
-/// requires holds unconditionally. Because the panel applies the same
-/// per-`(i,j,k)` operation in the same `k` order as the GEP embedding's
-/// kernel, `matmul_dac` and `matmul_gep` stay bitwise identical under any
-/// single backend.
+/// `ikj` tile kernel for the direct recursion. When the algebra has a
+/// backend panel ([`AlgebraKernels::mm_panel`]) the tile is handed to it —
+/// the three windows live in separate matrices, so the disjointness the
+/// panel requires holds unconditionally. Because the panel applies the
+/// same per-`(i,j,k)` operation in the same `k` order as the GEP
+/// embedding's kernel, `matmul_dac` and `matmul_gep` stay bitwise
+/// identical under any single backend.
 ///
 /// # Safety
 /// As [`mm_rec`].
-unsafe fn mm_kernel<T: Semiring>(
-    c: GepMat<'_, T>,
-    a: RoMat<'_, T>,
-    b: RoMat<'_, T>,
+unsafe fn mm_kernel<A: AlgebraKernels>(
+    c: GepMat<'_, A::Elem>,
+    a: RoMat<'_, A::Elem>,
+    b: RoMat<'_, A::Elem>,
     ci: usize,
     cj: usize,
     kk: usize,
     s: usize,
 ) {
     if s > 0 {
-        if let Some(panel) = gep_kernels::dispatch().and_then(T::mm_panel) {
+        if let Some(panel) = gep_kernels::dispatch().and_then(|set| A::mm_panel(set, false)) {
             return panel(
                 c.row_ptr(ci).add(cj),
                 c.n(),
@@ -356,7 +347,7 @@ unsafe fn mm_kernel<T: Semiring>(
             let u = a.get(i, k);
             let brow = b.row_ptr(k);
             for j in cj..cj + s {
-                *crow.add(j) = T::fma(*crow.add(j), u, *brow.add(j));
+                *crow.add(j) = A::fma(*crow.add(j), u, *brow.add(j));
             }
         }
     }
@@ -366,6 +357,7 @@ unsafe fn mm_kernel<T: Semiring>(
 mod tests {
     use super::*;
     use crate::reference::matmul_reference;
+    use gep_core::algebra::{Gf2Block, Gf2x64, MinPlusI64, TROPICAL_INF};
 
     fn rnd(n: usize, seed: u64) -> Matrix<f64> {
         let mut s = seed;
@@ -392,7 +384,7 @@ mod tests {
                 }
                 w
             };
-            let got = matmul_gep(&a, &b, c0.clone(), 4);
+            let got = matmul_gep::<PlusTimesF64>(&a, &b, c0.clone(), 4);
             assert!(got.approx_eq(&want, 1e-9), "n={n}");
         }
     }
@@ -404,7 +396,7 @@ mod tests {
             let b = rnd(n, 5 + n as u64);
             let want = matmul_reference(&a, &b);
             for base in [1usize, 4, 16] {
-                let got = matmul(&a, &b, base.min(n));
+                let got = matmul::<PlusTimesF64>(&a, &b, base.min(n));
                 assert!(got.approx_eq(&want, 1e-9), "n={n} base={base}");
             }
         }
@@ -417,27 +409,49 @@ mod tests {
         let n = 16;
         let a = rnd(n, 11);
         let b = rnd(n, 13);
-        let dac = matmul(&a, &b, 2);
-        let emb = matmul_gep(&a, &b, Matrix::square(n, 0.0), 2);
+        let dac = matmul::<PlusTimesF64>(&a, &b, 2);
+        let emb = matmul_gep::<PlusTimesF64>(&a, &b, Matrix::square(n, 0.0), 2);
         assert_eq!(dac, emb);
     }
 
     #[test]
     fn min_plus_distance_product() {
         // Squaring the weight matrix of a graph gives 2-hop shortest
-        // distances.
-        let inf = MinPlus::ADD_IDENTITY;
+        // distances — plain i64 entries, the algebra tag picks (min, +).
+        let inf = TROPICAL_INF;
         let w = Matrix::from_rows(&[
-            vec![MinPlus(0), MinPlus(4), inf, inf],
-            vec![inf, MinPlus(0), MinPlus(1), inf],
-            vec![inf, inf, MinPlus(0), MinPlus(2)],
-            vec![MinPlus(3), inf, inf, MinPlus(0)],
+            vec![0i64, 4, inf, inf],
+            vec![inf, 0, 1, inf],
+            vec![inf, inf, 0, 2],
+            vec![3, inf, inf, 0],
         ]);
-        let w2 = matmul(&w, &w, 2);
-        assert_eq!(w2[(0, 2)], MinPlus(5)); // 0->1->2
-        assert_eq!(w2[(1, 3)], MinPlus(3)); // 1->2->3
-        assert_eq!(w2[(0, 0)], MinPlus(0));
-        assert_eq!(w2[(2, 1)].0, inf.0.min(inf.0)); // still unreachable in 2 hops
+        let w2 = matmul::<MinPlusI64>(&w, &w, 2);
+        assert_eq!(w2[(0, 2)], 5); // 0->1->2
+        assert_eq!(w2[(1, 3)], 3); // 1->2->3
+        assert_eq!(w2[(0, 0)], 0);
+        assert_eq!(w2[(2, 1)], inf); // still unreachable in 2 hops
+    }
+
+    #[test]
+    fn gf2_block_product_squares_to_identity_for_involutions() {
+        // A permutation block of order 2 squares to the identity; the
+        // block-matrix product over Gf2x64 must see that.
+        let mut p = Gf2Block::ZERO;
+        for r in 0..64 {
+            p.set(r, r ^ 1, true); // swap adjacent pairs: an involution
+        }
+        let a = Matrix::from_fn(2, 2, |i, j| if i == j { p } else { Gf2Block::ZERO });
+        let sq = matmul::<Gf2x64>(&a, &a, 1);
+        for i in 0..2 {
+            for j in 0..2 {
+                let want = if i == j {
+                    Gf2Block::IDENTITY
+                } else {
+                    Gf2Block::ZERO
+                };
+                assert_eq!(sq[(i, j)], want, "({i},{j})");
+            }
+        }
     }
 
     #[test]
@@ -445,8 +459,8 @@ mod tests {
         let n = 8;
         let a = rnd(n, 21);
         let id = Matrix::identity(n);
-        assert!(matmul(&a, &id, 2).approx_eq(&a, 1e-12));
-        assert!(matmul(&id, &a, 2).approx_eq(&a, 1e-12));
+        assert!(matmul::<PlusTimesF64>(&a, &id, 2).approx_eq(&a, 1e-12));
+        assert!(matmul::<PlusTimesF64>(&id, &a, 2).approx_eq(&a, 1e-12));
     }
 
     #[test]
@@ -455,7 +469,7 @@ mod tests {
         let a = rnd(n, 31);
         let b = rnd(n, 37);
         let mut c = Matrix::square(n, 1.0);
-        matmul_dac(&Serial, &mut c, &a, &b, 2);
+        matmul_dac::<PlusTimesF64, _>(&Serial, &mut c, &a, &b, 2);
         let mut want = matmul_reference(&a, &b);
         for i in 0..n {
             for j in 0..n {

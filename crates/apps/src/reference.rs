@@ -5,6 +5,7 @@
 //! engine and an oracle is meaningful evidence of correctness.
 
 use crate::floyd_warshall::Weight;
+use gep_core::algebra::Gf2Block;
 use gep_matrix::Matrix;
 
 /// Classic triple-loop Floyd–Warshall on a distance matrix.
@@ -125,6 +126,160 @@ pub fn tc_reference(adj: &Matrix<bool>) -> Matrix<bool> {
         }
     }
     out
+}
+
+/// Classic triple-loop bottleneck (max-min / widest-path) closure:
+/// `cap[i][j] = max(cap[i][j], min(cap[i][k], cap[k][j]))`, with
+/// `i64::MIN` as "no path" and `i64::MAX` as an unconstrained hop.
+pub fn maxmin_reference(cap: &Matrix<i64>) -> Matrix<i64> {
+    let n = cap.n();
+    let mut c = cap.clone();
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let cand = c[(i, k)].min(c[(k, j)]);
+                if cand > c[(i, j)] {
+                    c[(i, j)] = cand;
+                }
+            }
+        }
+    }
+    c
+}
+
+/// 64×64 bool-matrix product, one bit per `bool` — the scalar oracle for
+/// the bitsliced [`Gf2Block::mul`].
+fn bool_block_mul(a: &[[bool; 64]; 64], b: &[[bool; 64]; 64]) -> [[bool; 64]; 64] {
+    let mut c = [[false; 64]; 64];
+    for i in 0..64 {
+        for k in 0..64 {
+            if a[i][k] {
+                for j in 0..64 {
+                    c[i][j] ^= b[k][j];
+                }
+            }
+        }
+    }
+    c
+}
+
+/// 64×64 bool-matrix inverse over GF(2) by textbook Gauss–Jordan with
+/// row swaps; `None` if singular. Independent of `Gf2Block`'s word-level
+/// tricks.
+fn bool_block_inv(a: &[[bool; 64]; 64]) -> Option<[[bool; 64]; 64]> {
+    let mut m = *a;
+    let mut inv = [[false; 64]; 64];
+    for (i, row) in inv.iter_mut().enumerate() {
+        row[i] = true;
+    }
+    for col in 0..64 {
+        let pivot = (col..64).find(|&r| m[r][col])?;
+        m.swap(col, pivot);
+        inv.swap(col, pivot);
+        let (mrow, irow) = (m[col], inv[col]);
+        for r in 0..64 {
+            if r != col && m[r][col] {
+                for j in 0..64 {
+                    m[r][j] ^= mrow[j];
+                    inv[r][j] ^= irow[j];
+                }
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// Block-level GF(2) elimination oracle: the same Schur-complement
+/// recurrence as `ElimSpec<Gf2x64>` (`Σ = {i > k ∧ j > k}`,
+/// `X ← X ⊕ U·W⁻¹·V`), but executed entirely in scalar `bool` arithmetic
+/// — no bitslicing anywhere — so agreement with the bitsliced engines is
+/// meaningful evidence that the word-parallel block operations are
+/// correct.
+///
+/// # Panics
+/// Panics if a pivot block is singular (the no-pivoting precondition:
+/// leading principal *block* minors must be nonsingular).
+#[allow(clippy::needless_range_loop)] // textbook index form, on purpose
+pub fn gf2_block_elim_reference(c: &Matrix<Gf2Block>) -> Matrix<Gf2Block> {
+    let n = c.n();
+    // Unpack to scalar bools once; all arithmetic below is bool-only.
+    let unpack = |b: &Gf2Block| {
+        let mut out = [[false; 64]; 64];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (col, cell) in row.iter_mut().enumerate() {
+                *cell = b.get(r, col);
+            }
+        }
+        out
+    };
+    let mut blocks: Vec<Vec<[[bool; 64]; 64]>> = (0..n)
+        .map(|i| (0..n).map(|j| unpack(&c[(i, j)])).collect())
+        .collect();
+    for k in 0..n {
+        let winv = bool_block_inv(&blocks[k][k])
+            .expect("GF(2) reference elimination hit a singular pivot block");
+        for i in k + 1..n {
+            let factor = bool_block_mul(&blocks[i][k], &winv);
+            for j in k + 1..n {
+                let prod = bool_block_mul(&factor, &blocks[k][j]);
+                for (xrow, prow) in blocks[i][j].iter_mut().zip(prod.iter()) {
+                    for (x, p) in xrow.iter_mut().zip(prow.iter()) {
+                        *x ^= p;
+                    }
+                }
+            }
+        }
+    }
+    Matrix::from_fn(n, n, |i, j| {
+        let mut b = Gf2Block::ZERO;
+        for r in 0..64 {
+            for col in 0..64 {
+                b.set(r, col, blocks[i][j][r][col]);
+            }
+        }
+        b
+    })
+}
+
+/// Naive GF(p) elimination oracle: `Σ = {i > k ∧ j > k}`,
+/// `x ← x − (u·w⁻¹)·v mod p`, all arithmetic in `u128` with `%` and the
+/// inverse by square-and-multiply Fermat — independent of the Barrett
+/// machinery in `gep_core::algebra::GfP`.
+///
+/// # Panics
+/// Panics on a zero pivot.
+pub fn gfp_elim_reference(a: &Matrix<u64>, p: u64) -> Matrix<u64> {
+    let n = a.n();
+    let p128 = p as u128;
+    let pow_mod = |mut b: u128, mut e: u64| {
+        let mut acc = 1u128;
+        b %= p128;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * b % p128;
+            }
+            b = b * b % p128;
+            e >>= 1;
+        }
+        acc
+    };
+    let mut m = a.clone();
+    for k in 0..n {
+        let w = m[(k, k)] as u128;
+        assert!(
+            w % p128 != 0,
+            "GF(p) reference elimination hit a zero pivot"
+        );
+        let winv = pow_mod(w, p - 2);
+        for i in k + 1..n {
+            let factor = m[(i, k)] as u128 * winv % p128;
+            for j in k + 1..n {
+                let prod = factor * (m[(k, j)] as u128) % p128;
+                m[(i, j)] = ((m[(i, j)] as u128 + p128 - prod) % p128) as u64;
+            }
+        }
+    }
+    m
 }
 
 /// Single-source Dijkstra (nonnegative weights) — an independent APSP

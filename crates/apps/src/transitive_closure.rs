@@ -5,7 +5,9 @@
 //! and `j` from `k`. This is Floyd–Warshall over the Boolean semiring, so
 //! I-GEP is exact for it.
 
+use gep_core::algebra::OrAndBool;
 use gep_core::{BoxShape, GepMat, GepSpec};
+use gep_kernels::AlgebraKernels;
 use gep_matrix::Matrix;
 
 /// Transitive closure over `bool` adjacency matrices.
@@ -52,9 +54,11 @@ impl GepSpec for TransitiveClosureSpec {
         }
     }
 
-    /// Routes the base case through the active `gep-kernels` backend
-    /// (wide byte-wise OR on disjoint boxes); the `Generic` backend falls
-    /// back to [`TransitiveClosureSpec::kernel`].
+    /// Routes the base case through the active backend's closure kernel
+    /// for the boolean semiring
+    /// ([`gep_kernels::AlgebraKernels::closure_kernel`] on [`OrAndBool`]
+    /// — wide byte-wise OR on disjoint boxes); the `Generic` backend
+    /// falls back to [`TransitiveClosureSpec::kernel`].
     unsafe fn kernel_shaped(
         &self,
         m: GepMat<'_, bool>,
@@ -64,8 +68,8 @@ impl GepSpec for TransitiveClosureSpec {
         s: usize,
         shape: BoxShape,
     ) {
-        match gep_kernels::dispatch() {
-            Some(set) => (set.bool_tc)(m, xr, xc, kk, s, shape),
+        match gep_kernels::dispatch().and_then(OrAndBool::closure_kernel) {
+            Some(kernel) => kernel(m, xr, xc, kk, s, shape),
             None => self.kernel(m, xr, xc, kk, s),
         }
     }

@@ -6,6 +6,7 @@ use gep_apps::matmul::{matmul, matmul_gep};
 use gep_apps::reference::matmul_reference;
 use gep_bench::workloads::rnd_matrix;
 use gep_blaslike::dgemm;
+use gep_core::algebra::PlusTimesF64;
 use gep_matrix::Matrix;
 use std::hint::black_box;
 
@@ -19,10 +20,17 @@ fn bench(c: &mut Criterion) {
             bch.iter(|| black_box(matmul_reference(&a, &b2)))
         });
         g.bench_function(BenchmarkId::new("igep_dac_base64", n), |bch| {
-            bch.iter(|| black_box(matmul(&a, &b2, 64.min(n))))
+            bch.iter(|| black_box(matmul::<PlusTimesF64>(&a, &b2, 64.min(n))))
         });
         g.bench_function(BenchmarkId::new("igep_embedding", n), |bch| {
-            bch.iter(|| black_box(matmul_gep(&a, &b2, Matrix::square(n, 0.0), 64.min(n))))
+            bch.iter(|| {
+                black_box(matmul_gep::<PlusTimesF64>(
+                    &a,
+                    &b2,
+                    Matrix::square(n, 0.0),
+                    64.min(n),
+                ))
+            })
         });
         g.bench_function(BenchmarkId::new("blocked_dgemm", n), |bch| {
             bch.iter(|| {

@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
             bch.iter(|| {
                 with_threads(threads, || {
                     let mut c = Matrix::square(n, 0.0);
-                    matmul_parallel(&mut c, &a, &b2, 64);
+                    matmul_parallel::<gep_core::algebra::PlusTimesF64>(&mut c, &a, &b2, 64);
                     black_box(c[(0, 0)])
                 })
             })

@@ -19,6 +19,7 @@ use gep_apps::floyd_warshall::FwSpec;
 use gep_apps::matmul::matmul;
 use gep_apps::{GaussianSpec, LuSpec, TransitiveClosureSpec};
 use gep_bench::workloads::{dd_matrix, random_dist_matrix, rnd_matrix, XorShift};
+use gep_core::algebra::PlusTimesF64;
 use gep_core::igep_opt;
 use gep_kernels::{detect_best, kernel_set, set_backend_override, Backend};
 use gep_matrix::Matrix;
@@ -84,7 +85,7 @@ fn bench_apps(c: &mut Criterion) {
             })
         });
         g.bench_with_input(BenchmarkId::new("mm", id), &(&mm_a, &mm_b), |b, input| {
-            b.iter(|| black_box(matmul(input.0, input.1, BASE)[(0, 0)]))
+            b.iter(|| black_box(matmul::<PlusTimesF64>(input.0, input.1, BASE)[(0, 0)]))
         });
     }
     set_backend_override(None);
@@ -101,37 +102,41 @@ fn bench_disjoint_box(c: &mut Criterion) {
     // 2·s³ flops per panel application.
     g.throughput(Throughput::Elements(2 * (s * s * s) as u64));
     for backend in backends() {
-        g.bench_with_input(BenchmarkId::new("mm_sub", backend.name()), &(), |bch, ()| {
-            let mut cm = Matrix::square(s, 0.0);
-            match kernel_set(backend) {
-                Some(set) => bch.iter(|| unsafe {
-                    (set.f64_mm_sub)(
-                        cm.as_mut_slice().as_mut_ptr(),
-                        s,
-                        a.as_slice().as_ptr(),
-                        s,
-                        b.as_slice().as_ptr(),
-                        s,
-                        s,
-                        s,
-                        s,
-                    );
-                    black_box(cm[(0, 0)])
-                }),
-                // Generic: the scalar loop the A/B/C/D base case runs.
-                None => bch.iter(|| {
-                    for i in 0..s {
-                        for k in 0..s {
-                            let u = a[(i, k)];
-                            for j in 0..s {
-                                cm[(i, j)] = cm[(i, j)] - u * b[(k, j)];
+        g.bench_with_input(
+            BenchmarkId::new("mm_sub", backend.name()),
+            &(),
+            |bch, ()| {
+                let mut cm = Matrix::square(s, 0.0);
+                match kernel_set(backend) {
+                    Some(set) => bch.iter(|| unsafe {
+                        (set.f64_mm_sub)(
+                            cm.as_mut_slice().as_mut_ptr(),
+                            s,
+                            a.as_slice().as_ptr(),
+                            s,
+                            b.as_slice().as_ptr(),
+                            s,
+                            s,
+                            s,
+                            s,
+                        );
+                        black_box(cm[(0, 0)])
+                    }),
+                    // Generic: the scalar loop the A/B/C/D base case runs.
+                    None => bch.iter(|| {
+                        for i in 0..s {
+                            for k in 0..s {
+                                let u = a[(i, k)];
+                                for j in 0..s {
+                                    cm[(i, j)] -= u * b[(k, j)];
+                                }
                             }
                         }
-                    }
-                    black_box(cm[(0, 0)])
-                }),
-            }
-        });
+                        black_box(cm[(0, 0)])
+                    }),
+                }
+            },
+        );
     }
     g.finish();
 }

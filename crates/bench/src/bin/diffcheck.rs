@@ -30,9 +30,23 @@
 //!   checked under every backend). Seeds print and replay exactly like
 //!   `fuzz` (`kernels --seed <u64>`). Passing `--engine-kernels` to
 //!   `fuzz` or `all` folds this axis into each fuzz trial.
+//! * `algebras [trials]` — the update-algebra axis: random closure
+//!   instances over `(min,+)` / `(max,min)` / `(∨,∧)` and elimination
+//!   instances over GF(2) (bitsliced 64×64 blocks) and GF(2³¹−1),
+//!   checked three ways per algebra: every engine vs an independent
+//!   scalar oracle, every available kernel backend vs the generic base
+//!   case, and the matmul embed-vs-recursion bitwise invariant. All
+//!   algebras here are exact, so every comparison is bitwise. Seeds
+//!   print and replay exactly like `fuzz` (`algebras --seed <u64>`).
 
 use gep::apps::matmul::{matmul, MatMulEmbedSpec};
-use gep::apps::{FwSpec, GaussianSpec, LuSpec, TransitiveClosureSpec};
+use gep::apps::reference::{
+    fw_reference, gf2_block_elim_reference, gfp_elim_reference, maxmin_reference, tc_reference,
+};
+use gep::apps::{ElimSpec, FwSpec, GaussianSpec, LuSpec, SemiringSpec, TransitiveClosureSpec};
+use gep::core::algebra::{
+    Gf2Block, Gf2x64, GfMersenne31, MaxMinI64, MinPlusI64, OrAndBool, PlusTimesF64, TROPICAL_INF,
+};
 use gep::matrix::Matrix;
 use gep::verify::{
     all_engines, buggy_engine, diff_engine, minimize, recorded_regression, AffineInstance,
@@ -269,9 +283,11 @@ fn kernels_one(seed: u64, label: &str) -> bool {
         ge_init[(i, i)] = n as f64 + 2.0;
     }
     for (app, run) in [
-        ("ge", (&|m: &mut Matrix<f64>| {
-            gep::core::igep_opt(&GaussianSpec, m, base)
-        }) as &dyn Fn(&mut Matrix<f64>)),
+        (
+            "ge",
+            (&|m: &mut Matrix<f64>| gep::core::igep_opt(&GaussianSpec, m, base))
+                as &dyn Fn(&mut Matrix<f64>),
+        ),
         ("lu", &|m: &mut Matrix<f64>| {
             gep::core::igep_opt(&LuSpec, m, base)
         }),
@@ -280,7 +296,11 @@ fn kernels_one(seed: u64, label: &str) -> bool {
         for &backend in &simd {
             let got = run_with(backend, &ge_init, run);
             if !got.approx_eq(&want, 1e-9) {
-                report(app, backend, format!("max |delta| = {:e}", got.max_abs_diff(&want)));
+                report(
+                    app,
+                    backend,
+                    format!("max |delta| = {:e}", got.max_abs_diff(&want)),
+                );
             }
         }
     }
@@ -325,13 +345,13 @@ fn kernels_one(seed: u64, label: &str) -> bool {
         _ => 0.0,
     });
     set_backend_override(Some(Backend::Generic));
-    let mm_want = matmul(&a, &b, base);
+    let mm_want = matmul::<PlusTimesF64>(&a, &b, base);
     set_backend_override(None);
     for backend in available_backends() {
         set_backend_override(Some(backend));
-        let dac = matmul(&a, &b, base);
+        let dac = matmul::<PlusTimesF64>(&a, &b, base);
         let mut emb = emb_init.clone();
-        gep::core::igep_opt(&MatMulEmbedSpec { n }, &mut emb, base);
+        gep::core::igep_opt(&MatMulEmbedSpec::<PlusTimesF64>::new(n), &mut emb, base);
         set_backend_override(None);
         let emb_c = Matrix::from_fn(n, n, |i, j| emb[(n + i, n + j)]);
         if emb_c != dac {
@@ -373,7 +393,9 @@ fn kernels_fuzz(trials: u64, replay: Option<u64>) -> bool {
     }
     let mut ok = true;
     for trial in 0..trials {
-        let seed = mix(FUZZ_MASTER_SEED.wrapping_add(0x4B45_524E).wrapping_add(trial));
+        let seed = mix(FUZZ_MASTER_SEED
+            .wrapping_add(0x4B45_524E)
+            .wrapping_add(trial));
         if !kernels_one(seed, &format!("trial {trial}")) {
             ok = false;
         }
@@ -386,6 +408,321 @@ fn kernels_fuzz(trials: u64, replay: Option<u64>) -> bool {
         available_backends().len() - 1,
         if ok {
             "no divergence from the generic base case"
+        } else {
+            "DIVERGENCE FOUND"
+        }
+    );
+    ok
+}
+
+/// Runs one closure (semiring FW-style) instance of algebra `A` through
+/// every engine against `oracle`, then every non-generic backend against
+/// the generic result. Exact algebras only: all comparisons are bitwise.
+fn closure_algebra_check<A: gep_kernels::AlgebraKernels>(
+    init: &Matrix<A::Elem>,
+    oracle: &Matrix<A::Elem>,
+    base: usize,
+    report: &mut dyn FnMut(&'static str, String),
+) {
+    let spec = SemiringSpec::<A>::new();
+    let mut g = init.clone();
+    gep::core::gep_iterative(&spec, &mut g);
+    if &g != oracle {
+        report(A::NAME, "engine G diverges from the scalar oracle".into());
+    }
+    let mut f = init.clone();
+    gep::core::igep(&spec, &mut f, base);
+    if &f != oracle {
+        report(
+            A::NAME,
+            format!("engine F (base {base}) diverges from the scalar oracle"),
+        );
+    }
+    let mut o = init.clone();
+    gep::core::igep_opt(&spec, &mut o, base);
+    if &o != oracle {
+        report(
+            A::NAME,
+            format!("engine A/B/C/D (base {base}) diverges from the scalar oracle"),
+        );
+    }
+    let mut h = init.clone();
+    gep::core::cgep_full(&spec, &mut h, base);
+    if &h != oracle {
+        report(
+            A::NAME,
+            format!("engine H (base {base}) diverges from the scalar oracle"),
+        );
+    }
+    let run: &dyn Fn(&mut Matrix<A::Elem>) = &|m| gep::core::igep_opt(&spec, m, base);
+    let want = run_with(Backend::Generic, init, run);
+    for backend in available_backends() {
+        if backend == Backend::Generic {
+            continue;
+        }
+        if run_with(backend, init, run) != want {
+            report(
+                A::NAME,
+                format!(
+                    "backend {} diverges from generic (base {base})",
+                    backend.name()
+                ),
+            );
+        }
+    }
+}
+
+/// The matmul embed-vs-recursion bitwise invariant over algebra `A`,
+/// checked under every available backend.
+fn embed_vs_recursion_check<A: gep_kernels::AlgebraKernels>(
+    a: &Matrix<A::Elem>,
+    b: &Matrix<A::Elem>,
+    base: usize,
+    report: &mut dyn FnMut(&'static str, String),
+) {
+    let n = a.n();
+    let emb_init = Matrix::from_fn(2 * n, 2 * n, |i, j| match (i < n, j < n) {
+        (true, false) => b[(i, j - n)],
+        (false, true) => a[(i - n, j)],
+        _ => A::ZERO,
+    });
+    for backend in available_backends() {
+        set_backend_override(Some(backend));
+        let dac = matmul::<A>(a, b, base);
+        let mut emb = emb_init.clone();
+        gep::core::igep_opt(&MatMulEmbedSpec::<A>::new(n), &mut emb, base);
+        set_backend_override(None);
+        let emb_c = Matrix::from_fn(n, n, |i, j| emb[(n + i, n + j)]);
+        if emb_c != dac {
+            report(
+                A::NAME,
+                format!(
+                    "matmul embed-vs-recursion bitwise invariant broken under backend {} \
+                     (base {base})",
+                    backend.name()
+                ),
+            );
+        }
+    }
+}
+
+/// Runs one elimination instance of algebra `A` through every engine
+/// against `oracle`, then every non-generic backend against the generic
+/// result.
+fn elim_algebra_check<A>(
+    init: &Matrix<A::Elem>,
+    oracle: &Matrix<A::Elem>,
+    base: usize,
+    report: &mut dyn FnMut(&'static str, String),
+) where
+    A: gep_kernels::AlgebraKernels + gep::core::algebra::EliminationAlgebra,
+{
+    let spec = ElimSpec::<A>::new();
+    let mut g = init.clone();
+    gep::core::gep_iterative(&spec, &mut g);
+    if &g != oracle {
+        report(
+            A::NAME,
+            "elimination engine G diverges from the scalar oracle".into(),
+        );
+    }
+    let mut o = init.clone();
+    gep::core::igep_opt(&spec, &mut o, base);
+    if &o != oracle {
+        report(
+            A::NAME,
+            format!("elimination engine A/B/C/D (base {base}) diverges from the scalar oracle"),
+        );
+    }
+    let mut h = init.clone();
+    gep::core::cgep_full(&spec, &mut h, base);
+    if &h != oracle {
+        report(
+            A::NAME,
+            format!("elimination engine H (base {base}) diverges from the oracle"),
+        );
+    }
+    let run: &dyn Fn(&mut Matrix<A::Elem>) = &|m| gep::core::igep_opt(&spec, m, base);
+    let want = run_with(Backend::Generic, init, run);
+    for backend in available_backends() {
+        if backend == Backend::Generic {
+            continue;
+        }
+        if run_with(backend, init, run) != want {
+            report(
+                A::NAME,
+                format!(
+                    "elimination backend {} diverges from generic (base {base})",
+                    backend.name()
+                ),
+            );
+        }
+    }
+}
+
+/// Random invertible 64×64 bit block (unit-lower · unit-upper product:
+/// every leading minor is 1).
+fn gf2_invertible_block(rng: &mut Rng) -> Gf2Block {
+    let mut lo = Gf2Block::IDENTITY;
+    let mut up = Gf2Block::IDENTITY;
+    for r in 0..64 {
+        lo.0[r] |= rng.next() & (((1u128 << r) - 1) as u64);
+        up.0[r] |= rng.next() & !(((1u128 << (r + 1)) - 1) as u64);
+    }
+    lo.mul(&up)
+}
+
+/// Random GF(2) block matrix with nonsingular leading block minors
+/// (block-level unit-lower · upper product with invertible diagonal
+/// blocks), so elimination never hits a singular pivot block.
+fn gf2_elim_instance(n: usize, rng: &mut Rng) -> Matrix<Gf2Block> {
+    let rnd_block = |rng: &mut Rng| Gf2Block(std::array::from_fn(|_| rng.next()));
+    let mut lo = Matrix::square(n, Gf2Block::ZERO);
+    let mut up = Matrix::square(n, Gf2Block::ZERO);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                lo[(i, j)] = Gf2Block::IDENTITY;
+                up[(i, j)] = gf2_invertible_block(rng);
+            } else if i > j {
+                lo[(i, j)] = rnd_block(rng);
+            } else {
+                up[(i, j)] = rnd_block(rng);
+            }
+        }
+    }
+    Matrix::from_fn(n, n, |i, j| {
+        let mut acc = Gf2Block::ZERO;
+        for m in 0..n {
+            acc.xor_assign(&lo[(i, m)].mul(&up[(m, j)]));
+        }
+        acc
+    })
+}
+
+/// One algebra-axis trial (see the module docs for what is covered).
+fn algebras_one(seed: u64, label: &str) -> bool {
+    let mut rng = Rng(seed.max(1));
+    let n = 1usize << (2 + rng.below(3)); // 4, 8, 16
+    let bases = [1usize, 2, 4, 8];
+    let base = bases[rng.below(bases.len() as u64) as usize];
+
+    let mut ok = true;
+    let mut report = |algebra: &'static str, detail: String| {
+        ok = false;
+        println!("{label} (seed {seed:#018x}) algebra axis: {algebra} n {n} base {base}: {detail}");
+        println!("replay with: diffcheck algebras --seed {seed:#x}\n");
+    };
+
+    // (min, +): shortest paths with INF sprinkled in, plus near-sentinel
+    // weights so the saturating/absorbing ⊗ is exercised, not just the
+    // comfortable middle of the range.
+    let fw_init = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            0i64
+        } else {
+            match rng.below(8) {
+                0 | 1 => TROPICAL_INF,
+                2 => TROPICAL_INF - 1 - rng.below(50) as i64,
+                _ => rng.below(100) as i64 + 1,
+            }
+        }
+    });
+    closure_algebra_check::<MinPlusI64>(&fw_init, &fw_reference(&fw_init), base, &mut report);
+
+    // (max, min): widest paths / bottleneck capacities; ZERO = i64::MIN
+    // marks a missing edge, the diagonal is ONE (unbounded self-capacity).
+    let mm_init = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            i64::MAX
+        } else if rng.below(4) == 0 {
+            i64::MIN
+        } else {
+            rng.below(1000) as i64
+        }
+    });
+    closure_algebra_check::<MaxMinI64>(&mm_init, &maxmin_reference(&mm_init), base, &mut report);
+
+    // (∨, ∧): reachability on a reflexive random digraph.
+    let tc_init = Matrix::from_fn(n, n, |i, j| i == j || rng.below(4) == 0);
+    closure_algebra_check::<OrAndBool>(&tc_init, &tc_reference(&tc_init), base, &mut report);
+
+    // Embed-vs-recursion over the exact semirings (bitwise, all backends).
+    let a = Matrix::from_fn(n, n, |_, _| rng.below(200) as i64);
+    let b = Matrix::from_fn(n, n, |_, _| rng.below(200) as i64);
+    embed_vs_recursion_check::<MinPlusI64>(&a, &b, base, &mut report);
+    embed_vs_recursion_check::<MaxMinI64>(&a, &b, base, &mut report);
+    let ab = Matrix::from_fn(n, n, |_, _| rng.below(3) == 0);
+    let bb = Matrix::from_fn(n, n, |_, _| rng.below(3) == 0);
+    embed_vs_recursion_check::<OrAndBool>(&ab, &bb, base, &mut report);
+
+    // GF(2), bitsliced: elimination against the scalar bool-matrix
+    // reference, plus the embed invariant on the (noncommutative) block
+    // ring. Block count is kept small — each cell is a 64×64 bit tile.
+    let bn = 1usize << rng.below(3); // 1, 2, 4 blocks per side
+    let gf2_init = gf2_elim_instance(bn, &mut rng);
+    elim_algebra_check::<Gf2x64>(
+        &gf2_init,
+        &gf2_block_elim_reference(&gf2_init),
+        base.min(bn),
+        &mut report,
+    );
+    let ga = Matrix::from_fn(bn, bn, |_, _| Gf2Block(std::array::from_fn(|_| rng.next())));
+    let gb = Matrix::from_fn(bn, bn, |_, _| Gf2Block(std::array::from_fn(|_| rng.next())));
+    embed_vs_recursion_check::<Gf2x64>(&ga, &gb, base.min(bn), &mut report);
+
+    // GF(2³¹ − 1): Barrett-reduced elimination vs the naive u128 `%`
+    // reference. A heavy diagonal keeps the leading minors nonsingular.
+    const P: u64 = 2_147_483_647;
+    let gfp_init = Matrix::from_fn(n, n, |i, j| {
+        let x = rng.next() % P;
+        if i == j && x == 0 {
+            1
+        } else {
+            x
+        }
+    });
+    elim_algebra_check::<GfMersenne31>(
+        &gfp_init,
+        &gfp_elim_reference(&gfp_init, P),
+        base,
+        &mut report,
+    );
+    ok
+}
+
+/// The algebra axis as a standalone fuzzer (subcommand `algebras`).
+fn algebras_fuzz(trials: u64, replay: Option<u64>) -> bool {
+    if let Some(seed) = replay {
+        println!("replaying the algebra-axis instance of seed {seed:#018x}:");
+        let ok = algebras_one(seed, "replay");
+        println!(
+            "replay: {}",
+            if ok {
+                "no divergence"
+            } else {
+                "DIVERGENCE FOUND"
+            }
+        );
+        return ok;
+    }
+    let mut ok = true;
+    for trial in 0..trials {
+        let seed = mix(FUZZ_MASTER_SEED
+            .wrapping_add(0x414C_4745)
+            .wrapping_add(trial));
+        if !algebras_one(seed, &format!("trial {trial}")) {
+            ok = false;
+        }
+        if (trial + 1) % 25 == 0 {
+            println!("… {} algebra trials done", trial + 1);
+        }
+    }
+    println!(
+        "algebras: {trials} trials x 6 algebras x {} backends, {}",
+        available_backends().len(),
+        if ok {
+            "no divergence (engines, backends, embed-vs-recursion all bitwise)"
         } else {
             "DIVERGENCE FOUND"
         }
@@ -449,15 +786,30 @@ fn main() {
             };
             kernels_fuzz(trials, seed)
         }
+        "algebras" => {
+            let trials = match args.get(1) {
+                None => 50u64,
+                Some(s) => s.parse().unwrap_or_else(|_| {
+                    eprintln!("algebras: trial count '{s}' is not a non-negative integer");
+                    std::process::exit(2);
+                }),
+            };
+            algebras_fuzz(trials, seed)
+        }
         "all" => {
             let a = regression();
             println!();
             demo();
             println!();
-            a && fuzz(2000, seed, engine_kernels)
+            let b = fuzz(2000, seed, engine_kernels);
+            println!();
+            a && b && algebras_fuzz(50, seed)
         }
         other => {
-            eprintln!("unknown subcommand '{other}'; one of: regression, demo, fuzz, kernels, all");
+            eprintln!(
+                "unknown subcommand '{other}'; one of: regression, demo, fuzz, kernels, \
+                 algebras, all"
+            );
             std::process::exit(2);
         }
     };

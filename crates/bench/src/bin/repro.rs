@@ -31,18 +31,14 @@ fn inum(v: u64) -> Json {
 /// Appends one snapshot of `bench_dir` to the repo-root trajectory file.
 /// Best-effort: a missing or metric-less bench dir is reported, not fatal.
 fn append_trajectory(bench_dir: &std::path::Path, source: &str, quick: bool) {
-    let entry = match trajectory::entry_from_dir(
-        bench_dir,
-        source,
-        quick,
-        &gep_bench::util::host_info(),
-    ) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("trajectory: skipped ({e})");
-            return;
-        }
-    };
+    let entry =
+        match trajectory::entry_from_dir(bench_dir, source, quick, &gep_bench::util::host_info()) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("trajectory: skipped ({e})");
+                return;
+            }
+        };
     let path = std::path::Path::new(trajectory::TRAJECTORY_FILE);
     match trajectory::append(path, entry) {
         Ok(seq) => println!("appended entry {seq} to {}", path.display()),
@@ -129,6 +125,7 @@ fn main() {
         .unwrap_or("all");
 
     let known = [
+        "algebras",
         "counterexample",
         "table1",
         "table2",
@@ -504,6 +501,31 @@ fn main() {
                         fnum(fig12::predicted_speedup(app.app, n, p)),
                     ),
                 ]);
+            }
+        }
+        emit(&d);
+    }
+    if run("algebras") {
+        let sizes: &[usize] = if quick { &[64, 128] } else { &[128, 256, 512] };
+        let rows = algebras::algebras(sizes, if quick { 1 } else { 3 });
+        let mut d = BenchDoc::new(
+            "algebras",
+            "Algebra sweep: I-GEP per update algebra, GF(2) bitsliced vs scalar",
+            quick,
+        )
+        .host(&gep_bench::util::host_info());
+        for r in &rows {
+            d.row(vec![
+                ("algebra", Json::Str(r.algebra.into())),
+                ("kind", Json::Str(r.kind.into())),
+                ("n", inum(r.n as u64)),
+                ("seconds", fnum(r.seconds)),
+                ("mcups", fnum(r.mcups)),
+            ]);
+        }
+        for &n in sizes {
+            if let Some(s) = algebras::bitslice_speedup(&rows, n) {
+                d.gauge(&format!("gf2.bitslice_speedup.n{n}"), s);
             }
         }
         emit(&d);

@@ -52,7 +52,13 @@ pub struct Tolerance {
 /// Row-identity parameters: integer fields that position a row within a
 /// sweep rather than measuring anything.
 const PARAM_KEYS: &[&str] = &[
-    "n", "threads", "p", "m_bytes", "b_bytes", "base", "processors",
+    "n",
+    "threads",
+    "p",
+    "m_bytes",
+    "b_bytes",
+    "base",
+    "processors",
 ];
 
 /// Whether an integer field positions a row in a sweep (identity) rather
@@ -169,7 +175,8 @@ fn metric_fields(row: &Json) -> Vec<(&str, f64)> {
     fields
         .iter()
         .filter(|(k, v)| {
-            !(matches!(v, Json::Str(_)) || matches!(v, Json::Int(_)) && PARAM_KEYS.contains(&k.as_str()))
+            !(matches!(v, Json::Str(_))
+                || matches!(v, Json::Int(_)) && PARAM_KEYS.contains(&k.as_str()))
         })
         .filter_map(|(k, v)| {
             let num = match v {
@@ -240,7 +247,10 @@ pub fn compare_docs(
     report: &mut CompareReport,
 ) {
     let empty: [Json; 0] = [];
-    let base_rows = baseline.get("rows").and_then(Json::as_arr).unwrap_or(&empty);
+    let base_rows = baseline
+        .get("rows")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
     let cur_rows = current.get("rows").and_then(Json::as_arr).unwrap_or(&empty);
     let mut cur_by_key: BTreeMap<String, &Json> = BTreeMap::new();
     for row in cur_rows {
@@ -327,7 +337,13 @@ pub fn compare_dirs(
             });
             continue;
         }
-        compare_docs(name, &base_doc, &load(&cur_path)?, deterministic_only, &mut report);
+        compare_docs(
+            name,
+            &base_doc,
+            &load(&cur_path)?,
+            deterministic_only,
+            &mut report,
+        );
     }
     Ok(report)
 }
@@ -368,12 +384,15 @@ mod tests {
         let t = tolerance_for("hw_llc_misses");
         assert!(t.informational && t.noisy);
         let t = tolerance_for("igep_l2_misses");
-        assert_eq!(t, Tolerance {
-            rel: 0.0,
-            direction: Direction::Exact,
-            noisy: false,
-            informational: false,
-        });
+        assert_eq!(
+            t,
+            Tolerance {
+                rel: 0.0,
+                direction: Direction::Exact,
+                noisy: false,
+                informational: false,
+            }
+        );
         assert_eq!(tolerance_for("ratio_sim_over_bound").rel, 0.1);
     }
 
@@ -406,8 +425,14 @@ mod tests {
 
     #[test]
     fn timing_regressions_gate_only_past_the_wide_band() {
-        let base = doc(vec![vec![("n", Json::Int(64)), ("gep_s", Json::Float(1.0))]]);
-        let slow = doc(vec![vec![("n", Json::Int(64)), ("gep_s", Json::Float(1.6))]]);
+        let base = doc(vec![vec![
+            ("n", Json::Int(64)),
+            ("gep_s", Json::Float(1.0)),
+        ]]);
+        let slow = doc(vec![vec![
+            ("n", Json::Int(64)),
+            ("gep_s", Json::Float(1.6)),
+        ]]);
         let mut report = CompareReport::default();
         compare_docs("f", &base, &slow, false, &mut report);
         assert_eq!(report.regressions.len(), 1);
@@ -440,8 +465,14 @@ mod tests {
     #[test]
     fn missing_rows_and_fields_are_coverage_regressions() {
         let base = doc(vec![
-            vec![("engine", Json::Str("igep".into())), ("misses", Json::Int(5))],
-            vec![("engine", Json::Str("gep".into())), ("misses", Json::Int(9))],
+            vec![
+                ("engine", Json::Str("igep".into())),
+                ("misses", Json::Int(5)),
+            ],
+            vec![
+                ("engine", Json::Str("gep".into())),
+                ("misses", Json::Int(9)),
+            ],
         ]);
         let cur = doc(vec![vec![("engine", Json::Str("igep".into()))]]);
         let mut report = CompareReport::default();

@@ -12,6 +12,7 @@ use gep_apps::matmul::matmul;
 use gep_apps::reference::matmul_reference;
 use gep_blaslike::dgemm;
 use gep_cachesim::{AddressSpace, CacheModel, SharedCache, TrackedMatrix};
+use gep_core::algebra::PlusTimesF64;
 use gep_core::CellStore;
 use gep_matrix::Matrix;
 use std::cell::RefCell;
@@ -41,7 +42,7 @@ pub fn fig11_time(sizes: &[usize], reps: usize) -> Vec<Fig11Row> {
         let b = rnd_matrix(n, 61612 + n as u64);
         let flops = 2.0 * (n as f64).powi(3);
         let (_, gep_s) = timed_best(reps, || matmul_reference(&a, &b));
-        let (_, igep_s) = timed_best(reps, || matmul(&a, &b, base));
+        let (_, igep_s) = timed_best(reps, || matmul::<PlusTimesF64>(&a, &b, base));
         let (_, blas_s) = timed_best(reps, || {
             let mut c = Matrix::square(n, 0.0);
             dgemm(&mut c, &a, &b);
@@ -183,6 +184,7 @@ pub fn fig11_misses(sizes: &[usize]) -> Vec<Fig11Misses> {
         let a = rnd_matrix(n, 3);
         let b = rnd_matrix(n, 4);
 
+        #[allow(clippy::type_complexity)]
         let run_pair = |f: &mut dyn FnMut(
             &mut TrackedMatrix<f64, gep_cachesim::Hierarchy>,
             &mut TrackedMatrix<f64, gep_cachesim::Hierarchy>,

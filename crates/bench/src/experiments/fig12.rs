@@ -14,6 +14,7 @@ use crate::util::{fmt_secs, print_table, timed_best};
 use crate::workloads::{dd_matrix, random_dist_matrix, rnd_matrix};
 use gep_apps::floyd_warshall::FwSpec;
 use gep_apps::GaussianSpec;
+use gep_core::algebra::PlusTimesF64;
 use gep_matrix::Matrix;
 use gep_parallel::{igep_parallel, matmul_parallel, span, with_threads};
 
@@ -43,7 +44,7 @@ pub fn fig12(n: usize, threads: &[usize], reps: usize) -> Vec<ScalingRow> {
                 "MM" => timed_best(reps, || {
                     with_threads(p, || {
                         let mut c = Matrix::square(n, 0.0);
-                        matmul_parallel(&mut c, &mm_a, &mm_b, base);
+                        matmul_parallel::<PlusTimesF64>(&mut c, &mm_a, &mm_b, base);
                     })
                 }),
                 "GE" => timed_best(reps, || {

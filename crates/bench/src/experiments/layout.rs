@@ -39,6 +39,7 @@ fn run_layout<L: Layout + Copy>(n: usize, layout: L, tlb_entries: usize) -> (u64
 
 /// Runs the layout comparison; returns
 /// `(n, rowmajor (tlb, l2), morton (tlb, l2))` rows.
+#[allow(clippy::type_complexity)]
 pub fn layout_study(sizes: &[usize], tile: usize) -> Vec<(usize, (u64, u64), (u64, u64))> {
     let mut out = vec![];
     let mut rows = vec![];

@@ -432,7 +432,8 @@ mod tests {
 
     fn lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]
@@ -445,7 +446,10 @@ mod tests {
         let outcome = misses_sized(&[32, 64], 64, 1, &denied);
         // The experiment completes with every engine row present...
         assert_eq!(outcome.rows.len(), 2 * 7);
-        assert_eq!(outcome.hwc_reason.as_deref(), Some("mocked perf_event_paranoid=3"));
+        assert_eq!(
+            outcome.hwc_reason.as_deref(),
+            Some("mocked perf_event_paranoid=3")
+        );
         for row in &outcome.rows {
             // ...hardware columns absent (None), never zero...
             assert!(row.hw.is_none(), "{row:?}");
@@ -464,7 +468,9 @@ mod tests {
         let rec = gep_obs::take().unwrap();
         assert_eq!(rec.counter("hwc.unavailable"), outcome.rows.len() as u64);
         assert!(
-            !rec.counters.keys().any(|k| k.starts_with("hwc.ge.") || k.starts_with("hwc.fw.")),
+            !rec.counters
+                .keys()
+                .any(|k| k.starts_with("hwc.ge.") || k.starts_with("hwc.fw.")),
             "denied runs must not publish event counters: {:?}",
             rec.counters
         );

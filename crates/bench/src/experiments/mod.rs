@@ -1,5 +1,6 @@
 //! One module per reproduced figure/table.
 
+pub mod algebras;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

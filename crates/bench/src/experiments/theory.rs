@@ -99,6 +99,7 @@ pub fn table2() {
 ///
 /// Returns `(n, span_full, span_simple, span_mm, work)` rows and whether
 /// the live cross-check passed.
+#[allow(clippy::type_complexity)]
 pub fn span_report(n: usize) -> (Vec<(usize, u64, u64, u64, u64)>, bool) {
     let out: Vec<(usize, u64, u64, u64, u64)> = (0..=n.trailing_zeros())
         .map(|q| {

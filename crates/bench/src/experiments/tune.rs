@@ -12,6 +12,7 @@ use crate::workloads::{dd_matrix, random_dist_matrix, rnd_matrix, XorShift};
 use gep_apps::floyd_warshall::FwSpec;
 use gep_apps::matmul::matmul;
 use gep_apps::{GaussianSpec, LuSpec, TransitiveClosureSpec};
+use gep_core::algebra::PlusTimesF64;
 use gep_core::igep_opt;
 use gep_kernels::{available_backends, set_backend_override, Backend, TuningProfile};
 use gep_matrix::Matrix;
@@ -107,7 +108,7 @@ fn measure(app: &str, n: usize, base: usize, reps: usize) -> (f64, f64) {
             let a = rnd_matrix(n, 0x3131 + n as u64);
             let b = rnd_matrix(n, 0x3232 + n as u64);
             let flops = 2.0 * (n as f64).powi(3);
-            let (_, s) = timed_best(reps, || matmul(&a, &b, base));
+            let (_, s) = timed_best(reps, || matmul::<PlusTimesF64>(&a, &b, base));
             (s, gflops(flops, s))
         }
         other => unreachable!("unknown tuned app {other}"),
@@ -256,7 +257,10 @@ mod tests {
         assert_eq!(out.points.len(), TUNED_APPS.len() * backends * 2);
         for app in TUNED_APPS {
             assert_eq!(
-                out.points.iter().filter(|p| p.app == app && p.chosen).count(),
+                out.points
+                    .iter()
+                    .filter(|p| p.app == app && p.chosen)
+                    .count(),
                 1,
                 "exactly one winner for {app}"
             );

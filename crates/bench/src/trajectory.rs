@@ -103,8 +103,7 @@ pub fn entry_from_dir(
     paths.sort();
     let mut metrics: Vec<(String, Json)> = Vec::new();
     for path in &paths {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         metrics.extend(flatten_doc(&doc));
     }
@@ -124,10 +123,7 @@ pub fn entry_from_dir(
         ("host", Json::Str(host.to_string())),
         ("quick", Json::Bool(quick)),
         ("source", Json::Str(source.to_string())),
-        (
-            "metrics",
-            Json::Obj(metrics.into_iter().collect()),
-        ),
+        ("metrics", Json::Obj(metrics.into_iter().collect())),
     ]))
 }
 
@@ -143,8 +139,7 @@ fn empty_trajectory() -> Json {
 /// assigning the next `seq`. Returns the assigned sequence number.
 pub fn append(path: &Path, entry: Json) -> Result<i64, String> {
     let mut doc = if path.exists() {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         validate(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
         doc
@@ -224,7 +219,11 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     }
     match doc.get("schema_version").and_then(Json::as_i64) {
         Some(TRAJECTORY_VERSION) => {}
-        Some(v) => return Err(format!("trajectory schema_version {v} != {TRAJECTORY_VERSION}")),
+        Some(v) => {
+            return Err(format!(
+                "trajectory schema_version {v} != {TRAJECTORY_VERSION}"
+            ))
+        }
         None => return Err("missing integer schema_version".into()),
     }
     match doc.get("kind").and_then(Json::as_str) {
@@ -326,33 +325,42 @@ mod tests {
         validate(&empty_trajectory()).expect("fresh file is valid");
         let cases = [
             ("not object", Json::Int(1)),
-            ("bad kind", Json::obj(vec![
-                ("schema_version", Json::Int(1)),
-                ("kind", Json::Str("other".into())),
-                ("entries", Json::Arr(vec![])),
-            ])),
-            ("non-increasing seq", Json::obj(vec![
-                ("schema_version", Json::Int(1)),
-                ("kind", Json::Str(TRAJECTORY_KIND.into())),
-                ("entries", Json::Arr(vec![
-                    Json::obj(vec![
-                        ("seq", Json::Int(2)),
-                        ("unix_time", Json::Int(0)),
-                        ("host", Json::Str("h".into())),
-                        ("quick", Json::Bool(true)),
-                        ("source", Json::Str("all".into())),
-                        ("metrics", Json::obj(vec![("m", Json::Int(1))])),
-                    ]),
-                    Json::obj(vec![
-                        ("seq", Json::Int(2)),
-                        ("unix_time", Json::Int(0)),
-                        ("host", Json::Str("h".into())),
-                        ("quick", Json::Bool(true)),
-                        ("source", Json::Str("all".into())),
-                        ("metrics", Json::obj(vec![("m", Json::Int(1))])),
-                    ]),
-                ])),
-            ])),
+            (
+                "bad kind",
+                Json::obj(vec![
+                    ("schema_version", Json::Int(1)),
+                    ("kind", Json::Str("other".into())),
+                    ("entries", Json::Arr(vec![])),
+                ]),
+            ),
+            (
+                "non-increasing seq",
+                Json::obj(vec![
+                    ("schema_version", Json::Int(1)),
+                    ("kind", Json::Str(TRAJECTORY_KIND.into())),
+                    (
+                        "entries",
+                        Json::Arr(vec![
+                            Json::obj(vec![
+                                ("seq", Json::Int(2)),
+                                ("unix_time", Json::Int(0)),
+                                ("host", Json::Str("h".into())),
+                                ("quick", Json::Bool(true)),
+                                ("source", Json::Str("all".into())),
+                                ("metrics", Json::obj(vec![("m", Json::Int(1))])),
+                            ]),
+                            Json::obj(vec![
+                                ("seq", Json::Int(2)),
+                                ("unix_time", Json::Int(0)),
+                                ("host", Json::Str("h".into())),
+                                ("quick", Json::Bool(true)),
+                                ("source", Json::Str("all".into())),
+                                ("metrics", Json::obj(vec![("m", Json::Int(1))])),
+                            ]),
+                        ]),
+                    ),
+                ]),
+            ),
         ];
         for (label, doc) in cases {
             assert!(validate(&doc).is_err(), "{label} should fail");

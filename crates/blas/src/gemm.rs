@@ -179,10 +179,10 @@ fn micro_kernel(
             }
         }
     }
-    for r in 0..rows {
+    for (r, arow) in acc.iter().enumerate().take(rows) {
         let crow = c.row_mut(i0 + r);
         for s in 0..cols {
-            crow[j0 + s] += acc[r][s];
+            crow[j0 + s] += arow[s];
         }
     }
 }

@@ -141,6 +141,7 @@ fn record_base_case<S: GepSpec>(spec: &S, xr: usize, xc: usize, kk: usize, s: us
 /// # Safety
 /// Caller guarantees exclusive access to the subsquare at `(xr, xc)` of
 /// side `s` (which here covers the panels too).
+#[allow(clippy::too_many_arguments)]
 pub unsafe fn fn_a<S, J>(
     joiner: &J,
     spec: &S,
@@ -195,6 +196,7 @@ pub unsafe fn fn_a<S, J>(
 /// # Safety
 /// As [`fn_a`]; caller guarantees exclusivity of `X` and read-stability of
 /// the pivot block.
+#[allow(clippy::too_many_arguments)]
 pub unsafe fn fn_b<S, J>(
     joiner: &J,
     spec: &S,
@@ -253,6 +255,7 @@ pub unsafe fn fn_b<S, J>(
 ///
 /// # Safety
 /// As [`fn_b`].
+#[allow(clippy::too_many_arguments)]
 pub unsafe fn fn_c<S, J>(
     joiner: &J,
     spec: &S,
@@ -306,6 +309,7 @@ pub unsafe fn fn_c<S, J>(
 ///
 /// # Safety
 /// As [`fn_b`].
+#[allow(clippy::too_many_arguments)]
 pub unsafe fn fn_d<S, J>(
     joiner: &J,
     spec: &S,

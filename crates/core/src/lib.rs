@@ -54,6 +54,7 @@
 //! (use [`gep_matrix::Matrix::padded`] to embed other sizes).
 
 pub mod abcd;
+pub mod algebra;
 pub mod cgep;
 pub mod cgep_reduced;
 pub mod gepmat;
@@ -68,6 +69,10 @@ pub mod trace;
 pub mod verify;
 
 pub use abcd::igep_opt;
+pub use algebra::{
+    EliminationAlgebra, Gf2, Gf2Block, Gf2x64, GfMersenne31, GfP, MaxMinI64, MinPlusF64,
+    MinPlusI64, OrAndBool, PlusTimesF64, UpdateAlgebra, TROPICAL_INF,
+};
 pub use cgep::{cgep_full, cgep_full_with};
 pub use cgep_reduced::{cgep_reduced, ReducedSpaceStats};
 pub use gepmat::GepMat;

@@ -61,6 +61,7 @@ pub trait GepSpec {
 
     /// The update function: new value for `c[i][j]` given
     /// `x = c[i][j]`, `u = c[i][k]`, `v = c[k][j]`, `w = c[k][k]`.
+    #[allow(clippy::too_many_arguments)]
     fn update(
         &self,
         i: usize,
@@ -269,12 +270,29 @@ pub struct ExplicitSet {
     set: HashSet<(usize, usize, usize)>,
 }
 
-impl ExplicitSet {
-    /// Builds from an iterator of `(i, j, k)` triples.
-    pub fn from_iter(it: impl IntoIterator<Item = (usize, usize, usize)>) -> Self {
+impl FromIterator<(usize, usize, usize)> for ExplicitSet {
+    fn from_iter<I: IntoIterator<Item = (usize, usize, usize)>>(it: I) -> Self {
         Self {
             set: it.into_iter().collect(),
         }
+    }
+}
+
+impl Extend<(usize, usize, usize)> for ExplicitSet {
+    fn extend<I: IntoIterator<Item = (usize, usize, usize)>>(&mut self, it: I) {
+        self.set.extend(it);
+    }
+}
+
+impl ExplicitSet {
+    /// Builds from an iterator of `(i, j, k)` triples.
+    ///
+    /// Thin alias for the [`FromIterator`] impl, kept because
+    /// `ExplicitSet::from_iter([...])` at call sites reads better than a
+    /// turbofished `collect`.
+    #[allow(clippy::should_implement_trait)] // delegates to the trait impl below
+    pub fn from_iter(it: impl IntoIterator<Item = (usize, usize, usize)>) -> Self {
+        <Self as FromIterator<_>>::from_iter(it)
     }
 
     /// Number of updates in `Σ`.
@@ -356,6 +374,15 @@ mod tests {
         assert!(s.intersects((0, 0), (0, 3), (0, 0)));
         assert!(!s.intersects((1, 2), (0, 3), (0, 3)));
         assert!(s.intersects((2, 3), (2, 3), (2, 3)));
+    }
+
+    #[test]
+    fn explicit_set_collects_and_extends() {
+        let mut s: ExplicitSet = [(0, 0, 0), (1, 2, 3)].into_iter().collect();
+        assert!(s.contains(1, 2, 3));
+        s.extend([(1, 2, 3), (2, 2, 2)]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(2, 2, 2));
     }
 
     #[test]

@@ -555,6 +555,7 @@ pub struct AffineInstance {
 
 impl AffineInstance {
     /// The spec: affine `f` over the explicit Σ.
+    #[allow(clippy::type_complexity)]
     pub fn spec(
         &self,
     ) -> ClosureSpec<i64, impl Fn(usize, usize, usize, i64, i64, i64, i64) -> i64> {

@@ -1,0 +1,191 @@
+//! Semiring-law property tests for every registered update algebra.
+//!
+//! [`UpdateAlgebra`] documents the laws; this suite fuzzes them per
+//! algebra: `⊕` associative + commutative with identity `ZERO`, `⊗`
+//! associative with identity `ONE` and annihilated by `ZERO`, `⊗`
+//! distributes over `⊕` from both sides, and `fma` equals its default
+//! composition. [`EliminationAlgebra`]s additionally satisfy
+//! `a ⊖ a = ZERO` and `inv(a) ⊗ a = ONE` for units.
+//!
+//! `⊗`-commutativity is deliberately *not* asserted — [`Gf2x64`] is a
+//! matrix ring. Float algebras are fuzzed over exactly-representable
+//! values (small integers) so associativity/distributivity hold
+//! bitwise; the tropical `i64` algebra is fuzzed over its operating
+//! range (finite weights far from the sentinel, plus the sentinel
+//! itself), where saturation never clips a finite sum.
+
+use gep_core::algebra::{
+    EliminationAlgebra, Gf2, Gf2Block, Gf2x64, GfMersenne31, GfP, MaxMinI64, MinPlusF64,
+    MinPlusI64, OrAndBool, PlusTimesF64, UpdateAlgebra, TROPICAL_INF,
+};
+use proptest::prelude::*;
+
+/// Asserts the full semiring-law set on one triple.
+fn semiring_laws<A: UpdateAlgebra>(a: A::Elem, b: A::Elem, c: A::Elem) {
+    // ⊕: associative, commutative, identity ZERO.
+    assert_eq!(
+        A::add(A::add(a, b), c),
+        A::add(a, A::add(b, c)),
+        "{}: ⊕ associativity",
+        A::NAME
+    );
+    assert_eq!(A::add(a, b), A::add(b, a), "{}: ⊕ commutativity", A::NAME);
+    assert_eq!(A::add(a, A::ZERO), a, "{}: ZERO is ⊕-identity", A::NAME);
+    // ⊗: associative, identity ONE, annihilator ZERO.
+    assert_eq!(
+        A::mul(A::mul(a, b), c),
+        A::mul(a, A::mul(b, c)),
+        "{}: ⊗ associativity",
+        A::NAME
+    );
+    assert_eq!(A::mul(a, A::ONE), a, "{}: ONE is right ⊗-identity", A::NAME);
+    assert_eq!(A::mul(A::ONE, a), a, "{}: ONE is left ⊗-identity", A::NAME);
+    assert_eq!(
+        A::mul(a, A::ZERO),
+        A::ZERO,
+        "{}: ZERO annihilates right",
+        A::NAME
+    );
+    assert_eq!(
+        A::mul(A::ZERO, a),
+        A::ZERO,
+        "{}: ZERO annihilates left",
+        A::NAME
+    );
+    // Distributivity, both sides.
+    assert_eq!(
+        A::mul(a, A::add(b, c)),
+        A::add(A::mul(a, b), A::mul(a, c)),
+        "{}: left distributivity",
+        A::NAME
+    );
+    assert_eq!(
+        A::mul(A::add(a, b), c),
+        A::add(A::mul(a, c), A::mul(b, c)),
+        "{}: right distributivity",
+        A::NAME
+    );
+    // fma is exactly the default composition.
+    assert_eq!(
+        A::fma(a, b, c),
+        A::add(a, A::mul(b, c)),
+        "{}: fma = ⊕∘⊗",
+        A::NAME
+    );
+}
+
+/// Asserts the elimination laws on one pair.
+fn elimination_laws<A: EliminationAlgebra>(a: A::Elem, u: A::Elem) {
+    assert_eq!(A::sub(a, a), A::ZERO, "{}: a ⊖ a = ZERO", A::NAME);
+    assert_eq!(A::sub(a, A::ZERO), a, "{}: a ⊖ ZERO = a", A::NAME);
+    if let Some(inv) = A::inv(u) {
+        assert_eq!(A::mul(inv, u), A::ONE, "{}: inv(u) ⊗ u = ONE", A::NAME);
+        assert_eq!(A::mul(u, inv), A::ONE, "{}: u ⊗ inv(u) = ONE", A::NAME);
+        // eliminate(x, u, v, w) with u = x·w, v = w is x ⊖ x·w·w⁻¹·w... keep
+        // it simple: eliminating ZERO contribution changes nothing.
+        assert_eq!(
+            A::eliminate(a, A::ZERO, a, u),
+            a,
+            "{}: zero multiplier",
+            A::NAME
+        );
+    }
+}
+
+/// Tropical weight: the sentinel (1 in 6), or a finite value far enough
+/// from it that no three-term sum saturates.
+fn tropical_weight() -> impl Strategy<Value = i64> {
+    (0u64..6, -1_000_000i64..=1_000_000)
+        .prop_map(|(pick, w)| if pick == 0 { TROPICAL_INF } else { w })
+}
+
+/// Exactly-representable double: small integers keep +/×/min exact.
+fn exact_f64() -> impl Strategy<Value = f64> {
+    (-512i64..=512).prop_map(|v| v as f64)
+}
+
+fn gf2_block() -> impl Strategy<Value = Gf2Block> {
+    proptest::collection::vec(any::<u64>(), 64).prop_map(|rows| {
+        let mut b = Gf2Block::ZERO;
+        for (r, w) in rows.into_iter().enumerate() {
+            b.0[r] = w;
+        }
+        b
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn plus_times_f64_laws(a in exact_f64(), b in exact_f64(), c in exact_f64()) {
+        semiring_laws::<PlusTimesF64>(a, b, c);
+        // Exact inverses only (powers of two divide exactly).
+        for u in [1.0f64, 2.0, -4.0, 0.5] {
+            elimination_laws::<PlusTimesF64>(a, u);
+        }
+    }
+
+    #[test]
+    fn min_plus_i64_laws(a in tropical_weight(), b in tropical_weight(), c in tropical_weight()) {
+        semiring_laws::<MinPlusI64>(a, b, c);
+    }
+
+    #[test]
+    fn min_plus_f64_laws(a in exact_f64(), b in exact_f64(), c in exact_f64()) {
+        semiring_laws::<MinPlusF64>(a, b, c);
+    }
+
+    #[test]
+    fn max_min_i64_laws(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        semiring_laws::<MaxMinI64>(a, b, c);
+    }
+
+    #[test]
+    fn or_and_bool_laws(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        semiring_laws::<OrAndBool>(a, b, c);
+    }
+
+    #[test]
+    fn gf2_laws(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        semiring_laws::<Gf2>(a, b, c);
+        elimination_laws::<Gf2>(a, b);
+    }
+
+    #[test]
+    fn gf2x64_laws(a in gf2_block(), b in gf2_block(), c in gf2_block()) {
+        semiring_laws::<Gf2x64>(a, b, c);
+        elimination_laws::<Gf2x64>(a, b);
+    }
+
+    #[test]
+    fn gfp_mersenne31_laws(a in 0u64..2_147_483_647, b in 0u64..2_147_483_647,
+                           c in 0u64..2_147_483_647) {
+        semiring_laws::<GfMersenne31>(a, b, c);
+        elimination_laws::<GfMersenne31>(a, b);
+    }
+
+    #[test]
+    fn gfp_small_prime_laws(a in 0u64..7, b in 0u64..7, c in 0u64..7) {
+        semiring_laws::<GfP<7>>(a, b, c);
+        elimination_laws::<GfP<7>>(a, b);
+    }
+}
+
+/// The tropical saturation boundary itself: absorbing at the sentinel,
+/// clamped (never wrapped, never undercutting the sentinel) just below
+/// it. This is the law-level pin of the historical `wadd` overflow bug.
+#[test]
+fn min_plus_saturation_boundary() {
+    type A = MinPlusI64;
+    let inf = TROPICAL_INF;
+    for near in [inf - 1, inf - 2, 1i64, 0, -5] {
+        assert_eq!(A::mul(inf, near), inf);
+        assert_eq!(A::mul(near, inf), inf);
+    }
+    // Finite ⊗ finite that overflows the sentinel clamps to it exactly.
+    assert_eq!(A::mul(inf - 1, inf - 1), inf);
+    assert_eq!(A::mul(inf - 1, 2), inf);
+    // ZERO (the ⊕-identity is the sentinel) still annihilates.
+    assert_eq!(A::add(inf, 7), 7);
+}

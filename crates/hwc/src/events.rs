@@ -284,9 +284,15 @@ mod tests {
     #[test]
     fn cache_config_encoding_matches_the_header() {
         // PERF_COUNT_HW_CACHE_LL | (OP_READ << 8) | (RESULT_MISS << 16).
-        assert_eq!(Event::LlcMisses.type_config(), (sys::TYPE_HW_CACHE, 0x10002));
+        assert_eq!(
+            Event::LlcMisses.type_config(),
+            (sys::TYPE_HW_CACHE, 0x10002)
+        );
         assert_eq!(Event::L1dLoads.type_config(), (sys::TYPE_HW_CACHE, 0x0));
-        assert_eq!(Event::DtlbMisses.type_config(), (sys::TYPE_HW_CACHE, 0x10003));
+        assert_eq!(
+            Event::DtlbMisses.type_config(),
+            (sys::TYPE_HW_CACHE, 0x10003)
+        );
         assert_eq!(Event::Cycles.type_config(), (sys::TYPE_HARDWARE, 0));
     }
 

@@ -26,7 +26,10 @@ pub struct HwReading {
 impl HwReading {
     /// Value of one event (`"cycles"`, `"llc_misses"`, ...), if measured.
     pub fn get(&self, name: &str) -> Option<u64> {
-        self.counts.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+        self.counts
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
     }
 
     /// The headline number: last-level-cache read misses.
@@ -126,7 +129,8 @@ mod tests {
     // The recorder is process-global; serialize the tests that install one.
     fn lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]

@@ -203,7 +203,10 @@ mod imp {
     }
 }
 
-#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
 mod imp {
     /// Whether this build target can issue the syscalls at all.
     pub const SUPPORTED: bool = false;
@@ -280,7 +283,10 @@ mod tests {
 
     #[test]
     fn attr_is_the_ver0_layout() {
-        assert_eq!(std::mem::size_of::<PerfEventAttr>(), ATTR_SIZE_VER0 as usize);
+        assert_eq!(
+            std::mem::size_of::<PerfEventAttr>(),
+            ATTR_SIZE_VER0 as usize
+        );
     }
 
     #[test]
@@ -290,7 +296,10 @@ mod tests {
         assert_eq!(to_result(0), Ok(0));
     }
 
-    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
     #[test]
     fn read_syscall_works_on_a_real_fd() {
         // Exercise the asm path with a plain file read: /proc/self/stat is

@@ -22,6 +22,7 @@
 
 use crate::sweeps;
 use core::arch::x86_64::*;
+use gep_core::algebra::{MinPlusI64, UpdateAlgebra, TROPICAL_INF};
 use gep_core::{BoxShape, GepMat};
 
 // ---------------------------------------------------------------------
@@ -262,6 +263,10 @@ unsafe fn fw_f64_panel_inner(
     }
 }
 
+/// i64 min-plus panel with the exact [`MinPlusI64::mul`] semantics of the
+/// scalar path: `u ⊗ v` saturates instead of wrapping and is absorbing at
+/// [`TROPICAL_INF`] — a plain `_mm256_add_epi64` would let two
+/// near-sentinel weights wrap negative and "win" every relaxation.
 #[target_feature(enable = "avx2")]
 unsafe fn fw_i64_panel_inner(
     c: *mut i64,
@@ -274,18 +279,60 @@ unsafe fn fw_i64_panel_inner(
     nj: usize,
     kd: usize,
 ) {
+    let inf = _mm256_set1_epi64x(TROPICAL_INF);
+    let inf_m1 = _mm256_set1_epi64x(TROPICAL_INF - 1);
+    let zero = _mm256_setzero_si256();
     for i in 0..mi {
         let crow = c.add(i * ldc);
         let arow = a.add(i * lda);
         for k in 0..kd {
             let u = *arow.add(k);
-            let uv = _mm256_set1_epi64x(u);
             let brow = b.add(k * ldb);
+            if u >= TROPICAL_INF {
+                // u is absorbing: every candidate is exactly INF. Only
+                // out-of-range cells (x > INF) change, matching the
+                // scalar `min(x, INF)`.
+                let mut j = 0usize;
+                while j + 4 <= nj {
+                    let x = _mm256_loadu_si256(crow.add(j) as *const __m256i);
+                    let gt = _mm256_cmpgt_epi64(x, inf);
+                    let res = _mm256_blendv_epi8(x, inf, gt);
+                    _mm256_storeu_si256(crow.add(j) as *mut __m256i, res);
+                    j += 4;
+                }
+                while j < nj {
+                    if TROPICAL_INF < *crow.add(j) {
+                        *crow.add(j) = TROPICAL_INF;
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            let uv = _mm256_set1_epi64x(u);
+            // Overflow of u + v requires sign(u) == sign(v), so the
+            // saturated value is uniform across the vector.
+            let satval = _mm256_set1_epi64x(if u >= 0 { i64::MAX } else { i64::MIN });
             let mut j = 0usize;
             while j + 4 <= nj {
                 let x = _mm256_loadu_si256(crow.add(j) as *const __m256i);
                 let v = _mm256_loadu_si256(brow.add(j) as *const __m256i);
-                let cand = _mm256_add_epi64(uv, v);
+                let mut cand = _mm256_add_epi64(uv, v);
+                // Signed-overflow mask: the sum overflowed iff its sign
+                // differs from both addends' — (u^cand) & (v^cand) has
+                // the sign bit set (AVX2 has no 64-bit arithmetic shift,
+                // so read the sign bit with a compare against zero).
+                let ovf = _mm256_cmpgt_epi64(
+                    zero,
+                    _mm256_and_si256(_mm256_xor_si256(uv, cand), _mm256_xor_si256(v, cand)),
+                );
+                cand = _mm256_blendv_epi8(cand, satval, ovf);
+                // Clamp into the sentinel: min(cand, INF) (no
+                // _mm256_min_epi64 at AVX2).
+                let big = _mm256_cmpgt_epi64(cand, inf);
+                cand = _mm256_blendv_epi8(cand, inf, big);
+                // Absorb: v ≥ INF ⇒ cand = INF, whatever u was.
+                let vinf = _mm256_cmpgt_epi64(v, inf_m1);
+                cand = _mm256_blendv_epi8(cand, inf, vinf);
                 // Take cand exactly where x > cand, i.e. cand < x.
                 let gt = _mm256_cmpgt_epi64(x, cand);
                 let res = _mm256_blendv_epi8(x, cand, gt);
@@ -293,7 +340,7 @@ unsafe fn fw_i64_panel_inner(
                 j += 4;
             }
             while j < nj {
-                let cand = u + *brow.add(j);
+                let cand = MinPlusI64::mul(u, *brow.add(j));
                 if cand < *crow.add(j) {
                     *crow.add(j) = cand;
                 }

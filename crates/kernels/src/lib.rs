@@ -56,6 +56,10 @@ pub mod tune;
 
 pub use tune::{tuned_base_size, TuningProfile, DEFAULT_BASE_SIZE};
 
+use gep_core::algebra::{
+    Gf2, Gf2Block, Gf2x64, GfP, MaxMinI64, MinPlusF64, MinPlusI64, OrAndBool, PlusTimesF64,
+    UpdateAlgebra,
+};
 use gep_core::{BoxShape, GepMat};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -165,17 +169,21 @@ pub fn detect_best() -> Backend {
 /// box, stability of the out-of-box panel cells, truthful `shape`.
 pub type ShapedKernel<T> = unsafe fn(GepMat<'_, T>, usize, usize, usize, usize, BoxShape);
 
-/// A raw `C ± A·B` f64 panel: `c` is `mi × nj` with row stride `ldc`,
-/// `a` is `mi × kd` (stride `lda`), `b` is `kd × nj` (stride `ldb`);
-/// `a`/`b` must not overlap `c`.
-pub type MmPanel =
-    unsafe fn(*mut f64, usize, *const f64, usize, *const f64, usize, usize, usize, usize);
+/// A raw `C ← C ⊕ (A ⊗ B)` accumulation panel over element type `T`:
+/// `c` is `mi × nj` with row stride `ldc`, `a` is `mi × kd` (stride
+/// `lda`), `b` is `kd × nj` (stride `ldb`); `a`/`b` must not overlap `c`.
+pub type TilePanel<T> =
+    unsafe fn(*mut T, usize, *const T, usize, *const T, usize, usize, usize, usize);
 
-/// The vtable of one backend: shaped kernels for the five GEP
-/// applications plus raw matrix-multiplication panels for callers (the
-/// matmul spec, the tuner) that already hold disjoint panel pointers.
-/// Fields are plain fn pointers, so a `&'static KernelSet` is freely
-/// shareable across threads.
+/// The f64 panel type (the historical name, kept as an alias).
+pub type MmPanel = TilePanel<f64>;
+
+/// The vtable of one backend: shaped kernels for the GEP applications
+/// plus raw matrix-multiplication panels for callers (the matmul spec,
+/// the tuner) that already hold disjoint panel pointers. Fields are
+/// plain fn pointers, so a `&'static KernelSet` is freely shareable
+/// across threads. Specs reach the right field for their algebra through
+/// the [`AlgebraKernels`] hooks rather than naming fields directly.
 pub struct KernelSet {
     pub backend: Backend,
     /// Gaussian elimination: `Σ = {i > k ∧ j > k}`, `f = x − (u/w)·v`.
@@ -184,10 +192,25 @@ pub struct KernelSet {
     pub f64_lu: ShapedKernel<f64>,
     /// Floyd–Warshall min-plus over full `Σ`, IEEE f64 weights.
     pub f64_fw: ShapedKernel<f64>,
-    /// Floyd–Warshall min-plus over full `Σ`, exact i64 weights.
+    /// Floyd–Warshall min-plus over full `Σ`, exact i64 weights
+    /// (saturating, sentinel-absorbing `⊗` — see
+    /// [`gep_core::algebra::MinPlusI64`]).
     pub i64_fw: ShapedKernel<i64>,
+    /// Bottleneck max-min closure over full `Σ`, i64 capacities.
+    ///
+    /// One shared auto-vectorized sweep serves every backend: the body
+    /// is `min`/`max`/compare only, which LLVM vectorizes well without
+    /// hand-written intrinsics.
+    pub i64_maxmin: ShapedKernel<i64>,
     /// Transitive closure and-or over full `Σ`.
     pub bool_tc: ShapedKernel<bool>,
+    /// Bitsliced GF(2) block elimination: `Σ = {i > k ∧ j > k}`,
+    /// `f = x ⊖ u·w⁻¹·v` over 64×64 bit blocks
+    /// ([`gep_core::algebra::Gf2x64`]).
+    ///
+    /// Word-parallel by construction (64 GF(2) columns per `u64`), so a
+    /// single implementation serves every backend.
+    pub gf2_elim: ShapedKernel<gep_core::algebra::Gf2Block>,
     /// `C += A·B`.
     pub f64_mm_acc: MmPanel,
     /// `C −= A·B`.
@@ -229,6 +252,27 @@ mod portable {
     pub unsafe fn tc(m: GepMat<'_, bool>, xr: usize, xc: usize, kk: usize, s: usize, _: BoxShape) {
         sweeps::tc_sweep(m, xr, xc, kk, s)
     }
+    pub unsafe fn maxmin(
+        m: GepMat<'_, i64>,
+        xr: usize,
+        xc: usize,
+        kk: usize,
+        s: usize,
+        _: BoxShape,
+    ) {
+        sweeps::maxmin_sweep(m, xr, xc, kk, s)
+    }
+    pub unsafe fn gf2_elim(
+        m: GepMat<'_, gep_core::algebra::Gf2Block>,
+        xr: usize,
+        xc: usize,
+        kk: usize,
+        s: usize,
+        _: BoxShape,
+    ) {
+        sweeps::gf2_elim_sweep(m, xr, xc, kk, s)
+    }
+    #[allow(clippy::too_many_arguments)]
     pub unsafe fn mm_acc(
         c: *mut f64,
         ldc: usize,
@@ -242,6 +286,7 @@ mod portable {
     ) {
         sweeps::mm_acc_portable(c, ldc, a, lda, b, ldb, mi, nj, kd)
     }
+    #[allow(clippy::too_many_arguments)]
     pub unsafe fn mm_sub(
         c: *mut f64,
         ldc: usize,
@@ -263,7 +308,9 @@ static PORTABLE_SET: KernelSet = KernelSet {
     f64_lu: portable::lu,
     f64_fw: portable::fw_f64,
     i64_fw: portable::fw_i64,
+    i64_maxmin: portable::maxmin,
     bool_tc: portable::tc,
+    gf2_elim: portable::gf2_elim,
     f64_mm_acc: portable::mm_acc,
     f64_mm_sub: portable::mm_sub,
 };
@@ -275,7 +322,9 @@ static SSE2_SET: KernelSet = KernelSet {
     f64_lu: sse2::lu,
     f64_fw: sse2::fw_f64,
     i64_fw: sse2::fw_i64,
+    i64_maxmin: portable::maxmin,
     bool_tc: sse2::tc,
+    gf2_elim: portable::gf2_elim,
     f64_mm_acc: sse2::mm_acc,
     f64_mm_sub: sse2::mm_sub,
 };
@@ -287,7 +336,9 @@ static AVX2_SET: KernelSet = KernelSet {
     f64_lu: avx2::lu,
     f64_fw: avx2::fw_f64,
     i64_fw: avx2::fw_i64,
+    i64_maxmin: portable::maxmin,
     bool_tc: avx2::tc,
+    gf2_elim: portable::gf2_elim,
     f64_mm_acc: avx2::mm_acc,
     f64_mm_sub: avx2::mm_sub,
 };
@@ -403,6 +454,81 @@ pub fn dispatch() -> Option<&'static KernelSet> {
     kernel_set(b)
 }
 
+/// Binds an [`UpdateAlgebra`] to the specialized kernels (if any) a
+/// [`KernelSet`] carries for it. Specs in `gep-apps` are generic over the
+/// algebra and reach their base-case kernels only through these hooks, so
+/// adding an algebra never touches the spec layer: implement the algebra
+/// in `gep-core`, implement (or default) this trait here, done.
+///
+/// Every hook defaults to `None` — "no specialized kernel for this
+/// algebra in this set" — which callers must treat exactly like
+/// [`Backend::Generic`]: fall back to the generic scalar base case (and
+/// bump `kernels.fallback`).
+pub trait AlgebraKernels: UpdateAlgebra {
+    /// Kernel for full-`Σ` closure specs (`Σ = all (i,j,k)`), e.g.
+    /// Floyd–Warshall or transitive closure over this algebra.
+    fn closure_kernel(_set: &KernelSet) -> Option<ShapedKernel<Self::Elem>> {
+        None
+    }
+    /// Kernel for elimination specs (`Σ = {i > k ∧ j > k}`,
+    /// `f = x ⊖ u·w⁻¹·v`) over this algebra.
+    fn elim_kernel(_set: &KernelSet) -> Option<ShapedKernel<Self::Elem>> {
+        None
+    }
+    /// Raw `C ← C ⊕ (A ⊗ B)` (or `⊖` when `sub`) panel for callers that
+    /// hold disjoint panel pointers (the matmul spec, the tuner).
+    fn mm_panel(_set: &KernelSet, _sub: bool) -> Option<TilePanel<Self::Elem>> {
+        None
+    }
+}
+
+impl AlgebraKernels for PlusTimesF64 {
+    fn elim_kernel(set: &KernelSet) -> Option<ShapedKernel<f64>> {
+        Some(set.f64_ge)
+    }
+    fn mm_panel(set: &KernelSet, sub: bool) -> Option<TilePanel<f64>> {
+        Some(if sub { set.f64_mm_sub } else { set.f64_mm_acc })
+    }
+}
+
+impl AlgebraKernels for MinPlusI64 {
+    fn closure_kernel(set: &KernelSet) -> Option<ShapedKernel<i64>> {
+        Some(set.i64_fw)
+    }
+}
+
+impl AlgebraKernels for MinPlusF64 {
+    fn closure_kernel(set: &KernelSet) -> Option<ShapedKernel<f64>> {
+        Some(set.f64_fw)
+    }
+}
+
+impl AlgebraKernels for MaxMinI64 {
+    fn closure_kernel(set: &KernelSet) -> Option<ShapedKernel<i64>> {
+        Some(set.i64_maxmin)
+    }
+}
+
+impl AlgebraKernels for OrAndBool {
+    fn closure_kernel(set: &KernelSet) -> Option<ShapedKernel<bool>> {
+        Some(set.bool_tc)
+    }
+}
+
+impl AlgebraKernels for Gf2x64 {
+    fn elim_kernel(set: &KernelSet) -> Option<ShapedKernel<Gf2Block>> {
+        Some(set.gf2_elim)
+    }
+}
+
+/// Scalar GF(2): no specialized kernel — the bitsliced representation
+/// ([`Gf2x64`]) is the fast path; bit-per-bool exists for oracles only.
+impl AlgebraKernels for Gf2 {}
+
+/// GF(p): scalar Barrett arithmetic everywhere for now; all hooks default
+/// to the generic fallback.
+impl<const P: u64> AlgebraKernels for GfP<P> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,7 +596,7 @@ mod tests {
     impl GepSpec for FwRefI64 {
         type Elem = i64;
         fn update(&self, _: usize, _: usize, _: usize, x: i64, u: i64, v: i64, _: i64) -> i64 {
-            let cand = u + v;
+            let cand = MinPlusI64::mul(u, v);
             if cand < x {
                 cand
             } else {
@@ -490,6 +616,42 @@ mod tests {
         }
         fn in_sigma(&self, _: usize, _: usize, _: usize) -> bool {
             true
+        }
+    }
+
+    struct MaxMinRef;
+    impl GepSpec for MaxMinRef {
+        type Elem = i64;
+        fn update(&self, _: usize, _: usize, _: usize, x: i64, u: i64, v: i64, _: i64) -> i64 {
+            let cand = if u < v { u } else { v };
+            if cand > x {
+                cand
+            } else {
+                x
+            }
+        }
+        fn in_sigma(&self, _: usize, _: usize, _: usize) -> bool {
+            true
+        }
+    }
+
+    struct Gf2Ref;
+    impl GepSpec for Gf2Ref {
+        type Elem = Gf2Block;
+        fn update(
+            &self,
+            _: usize,
+            _: usize,
+            _: usize,
+            x: Gf2Block,
+            u: Gf2Block,
+            v: Gf2Block,
+            w: Gf2Block,
+        ) -> Gf2Block {
+            <Gf2x64 as gep_core::algebra::EliminationAlgebra>::eliminate(x, u, v, w)
+        }
+        fn in_sigma(&self, i: usize, j: usize, k: usize) -> bool {
+            i > k && j > k
         }
     }
 
@@ -520,6 +682,92 @@ mod tests {
     fn bool_matrix(n: usize, seed: u64) -> Matrix<bool> {
         let mut s = seed;
         Matrix::from_fn(n, n, |i, j| i == j || lcg(&mut s) % 4 == 0)
+    }
+
+    /// Capacities in `[0, 1000)` with `ONE` on the diagonal and a sprinkle
+    /// of `ZERO = i64::MIN` sentinels (absent edges).
+    fn maxmin_matrix(n: usize, seed: u64) -> Matrix<i64> {
+        let mut s = seed;
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                i64::MAX
+            } else if lcg(&mut s) % 8 == 0 {
+                i64::MIN
+            } else {
+                (lcg(&mut s) % 1000) as i64
+            }
+        })
+    }
+
+    fn rand64(seed: &mut u64) -> u64 {
+        (lcg(seed) << 32) ^ lcg(seed)
+    }
+
+    fn gf2_random_block(seed: &mut u64) -> Gf2Block {
+        let mut b = Gf2Block::ZERO;
+        for r in 0..64 {
+            b.0[r] = rand64(seed);
+        }
+        b
+    }
+
+    /// A random *invertible* 64×64 bit block: product of a random
+    /// unit-lower and a random unit-upper triangular bit matrix.
+    fn gf2_invertible_block(seed: &mut u64) -> Gf2Block {
+        let mut lo = Gf2Block::IDENTITY;
+        let mut up = Gf2Block::IDENTITY;
+        for r in 0..64 {
+            lo.0[r] |= rand64(seed) & (((1u128 << r) - 1) as u64);
+            up.0[r] |= rand64(seed) & !(((1u128 << (r + 1)) - 1) as u64);
+        }
+        lo.mul(&up)
+    }
+
+    /// Random block matrix whose *original* diagonal blocks are
+    /// invertible — what the panel-shape kernels need, since their pivot
+    /// blocks lie outside the box and are never rewritten.
+    fn gf2_matrix_diag_invertible(n: usize, seed: u64) -> Matrix<Gf2Block> {
+        let mut s = seed;
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                gf2_invertible_block(&mut s)
+            } else {
+                gf2_random_block(&mut s)
+            }
+        })
+    }
+
+    /// Block-level `L·U` product (unit-lower · upper-with-invertible-
+    /// diagonal): every leading principal block minor is nonsingular, so
+    /// diagonal-box elimination — where the pivot *evolves* into a Schur
+    /// complement — never hits a singular pivot block.
+    fn gf2_matrix_lu(n: usize, seed: u64) -> Matrix<Gf2Block> {
+        let mut s = seed;
+        let lo = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                Gf2Block::IDENTITY
+            } else if j < i {
+                gf2_random_block(&mut s)
+            } else {
+                Gf2Block::ZERO
+            }
+        });
+        let up = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                gf2_invertible_block(&mut s)
+            } else if j > i {
+                gf2_random_block(&mut s)
+            } else {
+                Gf2Block::ZERO
+            }
+        });
+        Matrix::from_fn(n, n, |i, j| {
+            let mut acc = Gf2Block::ZERO;
+            for m in 0..n {
+                acc.xor_assign(&lo.get(i, m).mul(&up.get(m, j)));
+            }
+            acc
+        })
     }
 
     fn assert_f64_close(got: &Matrix<f64>, want: &Matrix<f64>, ctx: &str) {
@@ -617,6 +865,84 @@ mod tests {
                         (set.bool_tc)(GepMat::new(&mut got), xr, xc, kk, s, shape);
                     }
                     assert_eq!(got, want, "tc {ctx}");
+
+                    // i64 max-min bottleneck closure (exact).
+                    let init = maxmin_matrix(n, 0xD00D ^ s as u64);
+                    let mut want = init.clone();
+                    let mut got = init.clone();
+                    unsafe {
+                        generic_kernel(&MaxMinRef, GepMat::new(&mut want), xr, xc, kk, s);
+                        (set.i64_maxmin)(GepMat::new(&mut got), xr, xc, kk, s, shape);
+                    }
+                    assert_eq!(got, want, "maxmin {ctx}");
+
+                    // Bitsliced GF(2) block elimination (exact). The input
+                    // is chosen per shape so every pivot block the kernel
+                    // reads is invertible: a diagonal box evolves its
+                    // pivots into Schur complements (needs nonsingular
+                    // leading block minors — the L·U construction); panel
+                    // boxes read the untouched originals (needs invertible
+                    // diagonal blocks only).
+                    let init = if shape == BoxShape::Diagonal {
+                        gf2_matrix_lu(n, 0x6F2 ^ s as u64)
+                    } else {
+                        gf2_matrix_diag_invertible(n, 0x6F2 ^ s as u64)
+                    };
+                    let mut want = init.clone();
+                    let mut got = init.clone();
+                    unsafe {
+                        generic_kernel(&Gf2Ref, GepMat::new(&mut want), xr, xc, kk, s);
+                        (set.gf2_elim)(GepMat::new(&mut got), xr, xc, kk, s, shape);
+                    }
+                    assert_eq!(got, want, "gf2 {ctx}");
+                }
+            }
+        }
+    }
+
+    /// Adversarial near-sentinel i64 weights: with plain `+`, a pair of
+    /// large finite weights wraps negative (or lands just under the
+    /// sentinel) and wins every relaxation. All backends — including the
+    /// AVX2 disjoint panel — must match the saturating, `∞`-absorbing
+    /// reference exactly.
+    #[test]
+    fn fw_i64_near_sentinel_weights_do_not_wrap() {
+        use gep_core::algebra::TROPICAL_INF;
+        let vals = [
+            TROPICAL_INF,
+            TROPICAL_INF - 1,
+            i64::MAX / 2, // out-of-contract: above the sentinel
+            i64::MIN / 2 + 1,
+            -(TROPICAL_INF / 3),
+            TROPICAL_INF / 2 + 3,
+            0,
+            7,
+        ];
+        for set in specialized_sets() {
+            for &s in &[2usize, 4, 8] {
+                let n = 2 * s;
+                let mut c = 0usize;
+                let init = Matrix::from_fn(n, n, |i, j| {
+                    c += 1;
+                    if i == j {
+                        0
+                    } else {
+                        vals[(7 * c + i + 3 * j) % vals.len()]
+                    }
+                });
+                for (xr, xc, kk, shape) in shapes(s) {
+                    let mut want = init.clone();
+                    let mut got = init.clone();
+                    unsafe {
+                        generic_kernel(&FwRefI64, GepMat::new(&mut want), xr, xc, kk, s);
+                        (set.i64_fw)(GepMat::new(&mut got), xr, xc, kk, s, shape);
+                    }
+                    assert_eq!(
+                        got,
+                        want,
+                        "fw i64 sentinel {} s={s} {shape:?}",
+                        set.backend.name()
+                    );
                 }
             }
         }
@@ -690,6 +1016,28 @@ mod tests {
             }
             assert_eq!(m, init, "{}", set.backend.name());
         }
+    }
+
+    #[test]
+    fn algebra_hooks_resolve_expected_kernels() {
+        let set = kernel_set(Backend::Portable).unwrap();
+        // Closure algebras expose a closure kernel, no elimination kernel.
+        assert!(MinPlusI64::closure_kernel(set).is_some());
+        assert!(MinPlusI64::elim_kernel(set).is_none());
+        assert!(MinPlusF64::closure_kernel(set).is_some());
+        assert!(MaxMinI64::closure_kernel(set).is_some());
+        assert!(OrAndBool::closure_kernel(set).is_some());
+        // Elimination algebras: the reverse.
+        assert!(Gf2x64::elim_kernel(set).is_some());
+        assert!(Gf2x64::closure_kernel(set).is_none());
+        assert!(PlusTimesF64::elim_kernel(set).is_some());
+        assert!(PlusTimesF64::mm_panel(set, false).is_some());
+        assert!(PlusTimesF64::mm_panel(set, true).is_some());
+        // Scalar GF(2) and GF(p) have no specialized kernels (yet): every
+        // hook defaults to the generic fallback.
+        assert!(Gf2::elim_kernel(set).is_none());
+        assert!(GfP::<7>::elim_kernel(set).is_none());
+        assert!(GfP::<7>::closure_kernel(set).is_none());
     }
 
     #[test]

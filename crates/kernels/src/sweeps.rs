@@ -14,6 +14,7 @@
 //! generic kernel's refresh points even when the box overlaps its own
 //! `U`/`V`/`W` panels.
 
+use gep_core::algebra::{Gf2Block, MinPlusI64, UpdateAlgebra};
 use gep_core::GepMat;
 
 /// Min-plus element: the two operations Floyd–Warshall needs, written so
@@ -24,9 +25,15 @@ pub(crate) trait MinPlusElem: Copy {
 }
 
 impl MinPlusElem for i64 {
+    /// Tropical `⊗` — saturating and absorbing at [`TROPICAL_INF`]
+    /// (`gep_core::algebra::MinPlusI64::mul`), not plain `+`: a missing
+    /// edge must never shorten a path, even with negative or
+    /// near-sentinel finite weights.
+    ///
+    /// [`TROPICAL_INF`]: gep_core::algebra::TROPICAL_INF
     #[inline(always)]
     fn mp_add(self, o: i64) -> i64 {
-        self + o
+        MinPlusI64::mul(self, o)
     }
     #[inline(always)]
     fn mp_lt(self, o: i64) -> bool {
@@ -169,6 +176,92 @@ pub(crate) unsafe fn tc_sweep(m: GepMat<'_, bool>, xr: usize, xc: usize, kk: usi
     }
 }
 
+/// Bottleneck (max-min) closure sweep over the full `Σ`:
+/// `x ← max(x, min(u, v))` — widest-path relaxation.
+///
+/// Same aliasing structure as [`fw_sweep`]: `u = c[i,k]` is refreshed at
+/// `j == k`, `w` is unused. The `k`-outermost split makes it sound on
+/// every box shape.
+///
+/// # Safety
+/// As [`ge_sweep`].
+#[inline(always)]
+pub(crate) unsafe fn maxmin_sweep(m: GepMat<'_, i64>, xr: usize, xc: usize, kk: usize, s: usize) {
+    for k in kk..kk + s {
+        let vrow = m.row_ptr(k);
+        for i in xr..xr + s {
+            let mut u = m.get(i, k);
+            let xrow = m.row_ptr(i);
+            // Segment 1: j < k (u fixed).
+            let mid = k.clamp(xc, xc + s);
+            for j in xc..mid {
+                let cand = u.min(*vrow.add(j));
+                if cand > *xrow.add(j) {
+                    *xrow.add(j) = cand;
+                }
+            }
+            // Segment 2: j == k (updates c[i,k] itself).
+            if (xc..xc + s).contains(&k) {
+                let cand = u.min(*vrow.add(k));
+                if cand > *xrow.add(k) {
+                    *xrow.add(k) = cand;
+                    u = cand;
+                }
+            }
+            // Segment 3: j > k.
+            for j in (mid + usize::from((xc..xc + s).contains(&k)))..xc + s {
+                let cand = u.min(*vrow.add(j));
+                if cand > *xrow.add(j) {
+                    *xrow.add(j) = cand;
+                }
+            }
+        }
+    }
+}
+
+/// Bitsliced GF(2) block elimination sweep: `Σ = {i > k ∧ j > k}`,
+/// `f = x ⊖ (u ⊗ w⁻¹ ⊗ v)` over 64×64 bit-matrix blocks
+/// ([`gep_core::algebra::Gf2x64`]), with the pivot-block inverse hoisted
+/// per `k` and the left multiplier `u ⊗ w⁻¹` hoisted per `(k, i)`.
+///
+/// The hoists are sound for the same reason as in [`ge_sweep`]: `Σ`
+/// excludes `i == k` and `j == k`, so block-row `k` and block-column `k`
+/// are never written during step `k` on any box shape. Every inner-loop
+/// operation is a 64×64 bit-matrix multiply-xor — 64 GF(2) lanes per
+/// `u64` word, which is the entire point of this kernel regime.
+///
+/// # Panics
+/// Panics if a pivot block is singular; exact GF(2) elimination requires
+/// inputs with nonsingular leading principal block minors (the paper's
+/// no-pivoting precondition — there is no `inf`/`NaN` to absorb it).
+///
+/// # Safety
+/// As [`ge_sweep`].
+#[inline(always)]
+pub(crate) unsafe fn gf2_elim_sweep(
+    m: GepMat<'_, Gf2Block>,
+    xr: usize,
+    xc: usize,
+    kk: usize,
+    s: usize,
+) {
+    for k in kk..kk + s {
+        let w = m.get(k, k);
+        let winv = w
+            .inverse()
+            .expect("GF(2) elimination hit a singular pivot block");
+        let vrow = m.row_ptr(k);
+        for i in (k + 1).max(xr)..xr + s {
+            let factor = m.get(i, k).mul(&winv);
+            let xrow = m.row_ptr(i);
+            for j in (k + 1).max(xc)..xc + s {
+                let prod = factor.mul(&*vrow.add(j));
+                (*xrow.add(j)).xor_assign(&prod);
+            }
+        }
+    }
+}
+
 /// Portable `C += A·B` panel (`ikj`, contiguous inner loop, unfused
 /// multiply-add throughout — rustc does not contract `x + u*v` into an
 /// FMA, so every cell sees identical rounding in the vector and remainder
@@ -178,6 +271,7 @@ pub(crate) unsafe fn tc_sweep(m: GepMat<'_, bool>, xr: usize, xc: usize, kk: usi
 /// `c` (`mi × nj`, stride `ldc`), `a` (`mi × kd`, stride `lda`) and `b`
 /// (`kd × nj`, stride `ldb`) must be valid and non-overlapping with `c`.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 pub(crate) unsafe fn mm_acc_portable(
     c: *mut f64,
     ldc: usize,
@@ -207,6 +301,7 @@ pub(crate) unsafe fn mm_acc_portable(
 /// # Safety
 /// As [`mm_acc_portable`].
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 pub(crate) unsafe fn mm_sub_portable(
     c: *mut f64,
     ldc: usize,

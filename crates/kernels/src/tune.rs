@@ -115,7 +115,9 @@ impl TuningProfile {
         let backend = match v.get("backend") {
             None | Some(Json::Null) => None,
             Some(b) => {
-                let name = b.as_str().ok_or("tuning profile: backend must be a string")?;
+                let name = b
+                    .as_str()
+                    .ok_or("tuning profile: backend must be a string")?;
                 Some(
                     Backend::from_name(name)
                         .ok_or_else(|| format!("tuning profile: unknown backend {name:?}"))?,
@@ -256,8 +258,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("gep-tune-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("tuning.json");
-        let mut p = TuningProfile::default();
-        p.backend = Some(Backend::Portable);
+        let mut p = TuningProfile {
+            backend: Some(Backend::Portable),
+            ..Default::default()
+        };
         p.set_base_size("fw", 16);
         p.save(&path).unwrap();
         let q = TuningProfile::load(&path).unwrap();

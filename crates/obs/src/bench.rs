@@ -370,7 +370,10 @@ mod tests {
             ("experiment", Json::Str("fig8".into())),
             ("title", Json::Str("t".into())),
             ("quick", Json::Bool(true)),
-            ("rows", Json::Arr(vec![Json::obj(vec![("n", Json::Int(64))])])),
+            (
+                "rows",
+                Json::Arr(vec![Json::obj(vec![("n", Json::Int(64))])]),
+            ),
         ]);
         validate(&v1).expect("v1 envelope must stay valid");
     }
@@ -387,7 +390,12 @@ mod tests {
         let back = Json::parse(&text).expect("must re-parse");
         validate(&back).unwrap();
         let gauges = back.get("gauges").unwrap();
-        assert!(gauges.get("ratio.nan").unwrap().as_gauge().unwrap().is_nan());
+        assert!(gauges
+            .get("ratio.nan")
+            .unwrap()
+            .as_gauge()
+            .unwrap()
+            .is_nan());
         assert_eq!(
             gauges.get("bound.inf").unwrap().as_gauge(),
             Some(f64::INFINITY)

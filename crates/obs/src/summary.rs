@@ -111,8 +111,13 @@ mod tests {
         assert!(cache_at < io_at, "cache.* must precede io.*:\n{text}");
         // hwc rows live under their own header, after the general table,
         // with the millions-scaled reading alongside the raw count.
-        let hwc_header = text.find("hardware counters (hwc.*):").expect("hwc section");
-        assert!(io_at < hwc_header, "hwc section comes after counters:\n{text}");
+        let hwc_header = text
+            .find("hardware counters (hwc.*):")
+            .expect("hwc section");
+        assert!(
+            io_at < hwc_header,
+            "hwc section comes after counters:\n{text}"
+        );
         assert!(text.contains("123456789"), "{text}");
         assert!(text.contains("(123.46M)"), "{text}");
         // Small hwc values print raw only — no misleading 0.00M.

@@ -74,15 +74,16 @@ where
     gep_core::abcd::igep_abcd(&RayonJoiner, spec, c, base_size);
 }
 
-/// Parallel matrix multiplication `C += A · B` (the `D`-only recursion
-/// with all four quadrant calls of each `k`-half concurrent — span `O(n)`).
-pub fn matmul_parallel<T: gep_apps::Semiring>(
-    c: &mut Matrix<T>,
-    a: &Matrix<T>,
-    b: &Matrix<T>,
+/// Parallel matrix multiplication `C ⊕= A ⊗ B` over the update algebra
+/// `A` (the `D`-only recursion with all four quadrant calls of each
+/// `k`-half concurrent — span `O(n)`).
+pub fn matmul_parallel<A: gep_kernels::AlgebraKernels>(
+    c: &mut Matrix<A::Elem>,
+    a: &Matrix<A::Elem>,
+    b: &Matrix<A::Elem>,
     base_size: usize,
 ) {
-    gep_apps::matmul::matmul_dac(&RayonJoiner, c, a, b, base_size);
+    gep_apps::matmul::matmul_dac::<A, _>(&RayonJoiner, c, a, b, base_size);
 }
 
 /// The naive 2-way parallel I-GEP: within each pass of Figure 2 only the
@@ -165,6 +166,7 @@ mod tests {
     use gep_apps::floyd_warshall::{FwSpec, Weight};
     use gep_apps::matmul::matmul;
     use gep_apps::{GaussianSpec, LuSpec, TransitiveClosureSpec};
+    use gep_core::algebra::PlusTimesF64;
     use gep_core::{gep_iterative, igep_opt};
 
     fn random_dist(n: usize, seed: u64) -> Matrix<i64> {
@@ -285,9 +287,9 @@ mod tests {
         };
         let a = Matrix::from_fn(n, n, |_, _| gen());
         let b = Matrix::from_fn(n, n, |_, _| gen());
-        let seq = matmul(&a, &b, 8);
+        let seq = matmul::<PlusTimesF64>(&a, &b, 8);
         let mut par = Matrix::square(n, 0.0);
-        with_threads(4, || matmul_parallel(&mut par, &a, &b, 8));
+        with_threads(4, || matmul_parallel::<PlusTimesF64>(&mut par, &a, &b, 8));
         assert_eq!(par, seq);
     }
 

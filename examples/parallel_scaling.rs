@@ -55,7 +55,7 @@ fn main() {
                 }),
                 _ => with_threads(p, || {
                     let mut c = Matrix::square(n, 0.0);
-                    matmul_parallel(&mut c, &a, &b, 64);
+                    matmul_parallel::<gep_core::algebra::PlusTimesF64>(&mut c, &a, &b, 64);
                 }),
             }
             let secs = t0.elapsed().as_secs_f64();

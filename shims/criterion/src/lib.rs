@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this repository has no network access to a
+//! crates registry, so the workspace vendors a minimal, API-compatible
+//! subset of the external crates it uses (see `shims/README.md`).
+//!
+//! This shim keeps every `benches/*.rs` target compiling and runnable:
+//! `cargo bench` executes each benchmark a small fixed number of times
+//! and prints a median wall-clock line (plus throughput when declared).
+//! It does no statistics, warm-up scheduling, or report generation —
+//! the serious measurement path in this workspace is `repro`'s own
+//! harness, which never depended on criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 5,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires >= 10 samples; the shim just takes the hint
+        // to run fewer/more iterations, clamped to something quick.
+        self.samples = n.clamp(1, 20);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            per_iter: Vec::new(),
+        };
+        for _ in 0..self.samples {
+            f(&mut bencher);
+        }
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            per_iter: Vec::new(),
+        };
+        for _ in 0..self.samples {
+            f(&mut bencher, input);
+        }
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let mut times = bencher.per_iter.clone();
+        if times.is_empty() {
+            println!("{}/{}: no measurements", self.name, id.0);
+            return;
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => println!(
+                "{}/{}: median {:?} ({:.3} Melem/s)",
+                self.name,
+                id.0,
+                median,
+                n as f64 / median.as_secs_f64() / 1e6
+            ),
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => println!(
+                "{}/{}: median {:?} ({:.3} MiB/s)",
+                self.name,
+                id.0,
+                median,
+                n as f64 / median.as_secs_f64() / (1 << 20) as f64
+            ),
+            _ => println!("{}/{}: median {:?}", self.name, id.0, median),
+        }
+    }
+}
+
+pub struct Bencher {
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` per sample (no batching).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.per_iter.push(start.elapsed());
+        std::hint::black_box(out);
+    }
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        g.bench_function(BenchmarkId::new("sum", 64), |b| {
+            b.iter(|| (0u64..64).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("sum_input", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, workload);
+
+    #[test]
+    fn group_runs_benches() {
+        benches();
+    }
+}

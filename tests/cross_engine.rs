@@ -3,6 +3,7 @@
 //! across sizes and base cases.
 
 use gep::apps::{FwSpec, GaussianSpec, LuSpec, TransitiveClosureSpec};
+use gep::core::algebra::PlusTimesF64;
 use gep::core::{
     cgep_full, cgep_reduced, gep_iterative, igep, igep_opt, ClosureSpec, ExplicitSet, GepSpec,
     SumSpec,
@@ -177,7 +178,11 @@ fn matmul_embedding_all_engines() {
             (false, true) => a[(i - n, j)],
             (false, false) => 0.0,
         });
-        check_all_engines_f64(&MatMulEmbedSpec { n }, &emb, &format!("MM-embed n={n}"));
+        check_all_engines_f64(
+            &MatMulEmbedSpec::<PlusTimesF64>::new(n),
+            &emb,
+            &format!("MM-embed n={n}"),
+        );
     }
 }
 
@@ -218,6 +223,7 @@ fn recorded_regression_deterministic() {
 
 /// An arbitrary-Σ ClosureSpec instance (not any named application) for the
 /// harness matrix below.
+#[allow(clippy::type_complexity)]
 fn arbitrary_closure_instance() -> (
     ClosureSpec<i64, impl Fn(usize, usize, usize, i64, i64, i64, i64) -> i64>,
     Matrix<i64>,

@@ -149,9 +149,18 @@ fn matmul_four_ways() {
     let a = Matrix::from_fn(n, n, |_, _| gen());
     let b = Matrix::from_fn(n, n, |_, _| gen());
     let want = reference::matmul_reference(&a, &b);
-    assert!(gep::apps::matmul::matmul(&a, &b, 8).approx_eq(&want, 1e-9));
     assert!(
-        gep::apps::matmul::matmul_gep(&a, &b, Matrix::square(n, 0.0), 8).approx_eq(&want, 1e-9)
+        gep::apps::matmul::matmul::<gep::core::algebra::PlusTimesF64>(&a, &b, 8)
+            .approx_eq(&want, 1e-9)
+    );
+    assert!(
+        gep::apps::matmul::matmul_gep::<gep::core::algebra::PlusTimesF64>(
+            &a,
+            &b,
+            Matrix::square(n, 0.0),
+            8
+        )
+        .approx_eq(&want, 1e-9)
     );
     let mut c = Matrix::square(n, 0.0);
     gep::blaslike::dgemm(&mut c, &a, &b);

@@ -11,6 +11,7 @@
 
 use gep::apps::matmul::{matmul, MatMulEmbedSpec};
 use gep::apps::{FwSpec, GaussianSpec, LuSpec, TransitiveClosureSpec};
+use gep::core::algebra::PlusTimesF64;
 use gep::core::{gep_iterative, igep_opt, BoxShape, GepMat, GepSpec};
 use gep::kernels::{available_backends, set_backend_override, Backend};
 use gep::matrix::Matrix;
@@ -230,10 +231,15 @@ fn matmul_embedding_every_backend() {
             _ => 0.0,
         });
         let mut oracle = emb_init.clone();
-        gep_iterative(&MatMulEmbedSpec { n }, &mut oracle);
+        gep_iterative(&MatMulEmbedSpec::<PlusTimesF64>::new(n), &mut oracle);
         for backend in backends_under_test() {
             for base in BASES {
-                let got = igep_with(&MatMulEmbedSpec { n }, &emb_init, base, backend);
+                let got = igep_with(
+                    &MatMulEmbedSpec::<PlusTimesF64>::new(n),
+                    &emb_init,
+                    base,
+                    backend,
+                );
                 assert!(
                     got.approx_eq(&oracle, 1e-9),
                     "MM-embed {} n={n} base={base}: err={:e}",
@@ -245,7 +251,7 @@ fn matmul_embedding_every_backend() {
                 // same panel op in the same k order, so the C blocks are
                 // bitwise identical.
                 set_backend_override(Some(backend));
-                let dac = matmul(&a, &b, base);
+                let dac = matmul::<PlusTimesF64>(&a, &b, base);
                 set_backend_override(None);
                 let emb_c = Matrix::from_fn(n, n, |i, j| got[(n + i, n + j)]);
                 assert_eq!(
@@ -319,7 +325,7 @@ fn no_fallback_on_power_of_two_full_sigma_runs() {
     igep_opt(&TransitiveClosureSpec, &mut tc, 4);
     let mut rng = xorshift(5);
     let a = Matrix::from_fn(n, n, |_, _| (rng() % 200) as f64 / 100.0 - 1.0);
-    let _ = matmul(&a, &a, 4);
+    let _ = matmul::<PlusTimesF64>(&a, &a, 4);
     let rec = gep::obs::take().expect("recorder was installed");
     assert_eq!(
         rec.counter("kernels.fallback"),

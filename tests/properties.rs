@@ -13,6 +13,7 @@ use std::rc::Rc;
 
 /// An arbitrary GEP instance: side (power of two), update set, affine
 /// update coefficients, initial matrix.
+#[allow(clippy::type_complexity)]
 fn arb_gep_instance() -> impl Strategy<
     Value = (
         usize,
@@ -251,21 +252,23 @@ proptest! {
     }
 
     /// Semiring matmul is associative for (min, +) — exercised through the
-    /// divide-and-conquer engine.
+    /// divide-and-conquer engine over plain `i64` matrices with the
+    /// `MinPlusI64` algebra tag.
     #[test]
     fn min_plus_matmul_associative(q in 0usize..=3, seed in any::<u64>()) {
-        use gep::apps::matmul::{matmul, MinPlus};
+        use gep::apps::matmul::matmul;
+        use gep::core::algebra::MinPlusI64;
         let n = 1usize << q;
         let mut s = seed | 1;
         let mut gen = move || {
             s ^= s << 13; s ^= s >> 7; s ^= s << 17;
-            MinPlus((s % 100) as i64)
+            (s % 100) as i64
         };
         let a = Matrix::from_fn(n, n, |_, _| gen());
         let b = Matrix::from_fn(n, n, |_, _| gen());
         let c = Matrix::from_fn(n, n, |_, _| gen());
-        let left = matmul(&matmul(&a, &b, 2), &c, 2);
-        let right = matmul(&a, &matmul(&b, &c, 2), 2);
+        let left = matmul::<MinPlusI64>(&matmul::<MinPlusI64>(&a, &b, 2), &c, 2);
+        let right = matmul::<MinPlusI64>(&a, &matmul::<MinPlusI64>(&b, &c, 2), 2);
         prop_assert_eq!(left, right);
     }
 }
