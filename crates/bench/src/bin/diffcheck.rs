@@ -38,6 +38,14 @@
 //!   case, and the matmul embed-vs-recursion bitwise invariant. All
 //!   algebras here are exact, so every comparison is bitwise. Seeds
 //!   print and replay exactly like `fuzz` (`algebras --seed <u64>`).
+//! * `crash [trials]` — the crash-recovery axis (`gep_bench::crashcheck`):
+//!   each trial runs a checkpointed out-of-core solve (FW over `i64` or
+//!   GE over `f64`), kills it at a seed-fuzzed write (optionally tearing
+//!   the final stable append), corrupts a checkpoint object, or injects
+//!   transient read faults; then resumes and demands the result match the
+//!   uninterrupted run **bit for bit**. Failing seeds are printed, replay
+//!   via `crash --seed <u64>`, and are also appended to
+//!   `diffcheck-crash-failing-seeds.txt` so CI can archive them.
 
 use gep::apps::matmul::{matmul, MatMulEmbedSpec};
 use gep::apps::reference::{
@@ -730,6 +738,64 @@ fn algebras_fuzz(trials: u64, replay: Option<u64>) -> bool {
     ok
 }
 
+/// The crash-recovery axis as a standalone fuzzer (subcommand `crash`).
+/// Failing seeds go to `diffcheck-crash-failing-seeds.txt` for CI to
+/// archive as an artifact.
+fn crash_fuzz(trials: u64, replay: Option<u64>) -> bool {
+    gep::extmem::silence_injected_crash_reports();
+    if let Some(seed) = replay {
+        println!("replaying the crash-axis trial of seed {seed:#018x}:");
+        match gep_bench::crashcheck::crash_trial(seed) {
+            Ok(stats) => {
+                println!(
+                    "replay: recovered bit-identically (resumed from cursor {} of {}, \
+                     {} snapshots, {} recovery fallbacks)",
+                    stats.start_cursor,
+                    stats.total_steps,
+                    stats.snapshots_written,
+                    stats.recovery_fallbacks,
+                );
+                return true;
+            }
+            Err(e) => {
+                println!("replay: RECOVERY VIOLATION\n{e}");
+                return false;
+            }
+        }
+    }
+    let mut failing: Vec<u64> = Vec::new();
+    for trial in 0..trials {
+        let seed = mix(FUZZ_MASTER_SEED
+            .wrapping_add(0x4352_4153)
+            .wrapping_add(trial));
+        if let Err(e) = gep_bench::crashcheck::crash_trial(seed) {
+            println!("trial {trial}: RECOVERY VIOLATION\n{e}");
+            println!("replay with: diffcheck crash --seed {seed:#x}\n");
+            failing.push(seed);
+        }
+        if (trial + 1) % 50 == 0 {
+            println!("… {} crash trials done", trial + 1);
+        }
+    }
+    if !failing.is_empty() {
+        let lines: String = failing.iter().map(|s| format!("{s:#018x}\n")).collect();
+        let path = "diffcheck-crash-failing-seeds.txt";
+        match std::fs::write(path, &lines) {
+            Ok(()) => println!("wrote {} failing seed(s) to {path}", failing.len()),
+            Err(e) => println!("could not write {path}: {e}"),
+        }
+    }
+    println!(
+        "crash: {trials} trials, {}",
+        if failing.is_empty() {
+            "every interrupted run recovered bit-identically"
+        } else {
+            "RECOVERY VIOLATIONS FOUND"
+        }
+    );
+    failing.is_empty()
+}
+
 /// Parses a seed in decimal or `0x`-prefixed hex.
 fn parse_seed(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -796,6 +862,16 @@ fn main() {
             };
             algebras_fuzz(trials, seed)
         }
+        "crash" => {
+            let trials = match args.get(1) {
+                None => 200u64,
+                Some(s) => s.parse().unwrap_or_else(|_| {
+                    eprintln!("crash: trial count '{s}' is not a non-negative integer");
+                    std::process::exit(2);
+                }),
+            };
+            crash_fuzz(trials, seed)
+        }
         "all" => {
             let a = regression();
             println!();
@@ -803,12 +879,14 @@ fn main() {
             println!();
             let b = fuzz(2000, seed, engine_kernels);
             println!();
-            a && b && algebras_fuzz(50, seed)
+            let c = algebras_fuzz(50, seed);
+            println!();
+            a && b && c && crash_fuzz(50, seed)
         }
         other => {
             eprintln!(
                 "unknown subcommand '{other}'; one of: regression, demo, fuzz, kernels, \
-                 algebras, all"
+                 algebras, crash, all"
             );
             std::process::exit(2);
         }

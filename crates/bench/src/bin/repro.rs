@@ -142,6 +142,7 @@ fn main() {
         "lemma32",
         "layout",
         "misses",
+        "resume",
         "tune",
         "compare",
         "validate",
@@ -624,6 +625,41 @@ fn main() {
             ("q2_enlarged", inum(q2_big)),
         ]);
         emit(&d);
+    }
+    if run("resume") {
+        gep_extmem::silence_injected_crash_reports();
+        let rows = resume::resume(quick);
+        let mut d = BenchDoc::new(
+            "resume",
+            "Crash-safe out-of-core GEP: checkpoint/recovery determinism",
+            quick,
+        );
+        for r in &rows {
+            d.row(vec![
+                ("app", Json::Str(r.app.into())),
+                ("scenario", Json::Str(r.scenario.into())),
+                ("n", inum(r.n as u64)),
+                ("base", inum(r.base as u64)),
+                // Identity, not a metric: part of the row key, so encode
+                // as a string (`snapshot_every` is not a PARAM_KEY).
+                ("every", Json::Str(r.snapshot_every.to_string())),
+                ("total_steps", inum(r.stats.total_steps)),
+                ("resumed_cursor", inum(r.stats.start_cursor)),
+                ("executed_steps", inum(r.stats.executed_steps)),
+                ("snapshots_written", inum(r.stats.snapshots_written)),
+                ("wal_records", inum(r.stats.wal_records)),
+                ("wal_bytes", inum(r.stats.wal_bytes)),
+                ("snap_bytes", inum(r.stats.snap_bytes)),
+                ("ckpt_bytes", inum(r.stats.store_bytes)),
+                ("recovery_fallbacks", inum(r.stats.recovery_fallbacks)),
+                ("bit_identical", Json::Bool(r.bit_identical)),
+            ]);
+        }
+        emit(&d);
+        if rows.iter().any(|r| !r.bit_identical) {
+            eprintln!("error: a recovery scenario diverged from the uninterrupted run");
+            std::process::exit(1);
+        }
     }
     if run("misses") {
         // The recorder collects hwc.* (or hwc.unavailable) counters so the

@@ -105,6 +105,7 @@ pub fn run_ooc(engine: Engine, input: &Matrix<i64>, m_bytes: u64, b_bytes: u64) 
             block_writes: end.block_writes - baseline.block_writes,
             seeks: end.seeks - baseline.seeks,
             bytes: end.bytes - baseline.bytes,
+            retries: end.retries - baseline.retries,
             wait_s: end.wait_s - baseline.wait_s,
         }
         .publish(engine.slug());

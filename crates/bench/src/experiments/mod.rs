@@ -10,5 +10,6 @@ pub mod fig9;
 pub mod layout;
 pub mod lemma;
 pub mod misses;
+pub mod resume;
 pub mod theory;
 pub mod tune;

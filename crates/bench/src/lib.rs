@@ -20,10 +20,12 @@
 //! | `fig12` | multithreaded I-GEP speedup |
 //! | `span` | §3 — span recurrences / predicted parallelism |
 //! | `space` | §2.2.2 — reduced-space C-GEP live-snapshot peaks |
+//! | `resume` | checkpoint/recovery determinism (see `docs/EXTMEM.md`) |
 //! | `lemma31` | Lemma 3.1(b) — distributed-cache deterministic schedule |
 //! | `tune` | `gep-kernels` autotuner — backend × base-size sweep, writes `tuning.json` |
 
 pub mod compare;
+pub mod crashcheck;
 pub mod experiments;
 pub mod jsonout;
 pub mod trajectory;

@@ -62,6 +62,7 @@ pub mod igep;
 pub mod iterative;
 pub mod joiner;
 pub mod legality;
+pub mod resume;
 pub mod spec;
 pub mod store;
 pub mod theory;
@@ -80,6 +81,7 @@ pub use igep::{igep, igep_box};
 pub use iterative::gep_iterative;
 pub use joiner::{Joiner, Serial};
 pub use legality::{check_igep_legality, Legality};
+pub use resume::{igep_resumable, igep_step_count, ResumeOutcome, StepControl};
 pub use spec::{BoxShape, ClosureSpec, ExplicitSet, GepSpec, SumSpec};
 pub use store::CellStore;
 pub use verify::{diff_engine, diff_engines, DiffReport, Divergence, Engine, TraceSpec};

@@ -6,6 +6,7 @@
 //! like STXXL's cache configuration in the paper's Figure 7 sweeps.
 
 use crate::disk::{DiskProfile, IoStats, SimDisk};
+use crate::fault::FaultClock;
 use std::collections::{BTreeMap, HashMap};
 
 struct Page<T> {
@@ -16,7 +17,11 @@ struct Page<T> {
 
 /// An element-addressed external-memory arena with an `M`-byte LRU page
 /// cache over `B`-byte pages.
-pub struct ExtArena<T> {
+///
+/// Dropping an arena flushes its dirty pages (unless the thread is
+/// already panicking), so the underlying [`SimDisk`] image is always the
+/// committed state — a checkpoint can never observe a stale page.
+pub struct ExtArena<T: Copy + Default> {
     disk: SimDisk<T>,
     epp: usize,
     capacity_pages: usize,
@@ -79,6 +84,30 @@ impl<T: Copy + Default> ExtArena<T> {
         self.disk.stats()
     }
 
+    /// Dirty resident pages (would be lost by a crash before a flush).
+    pub fn dirty_pages(&self) -> usize {
+        self.cache.values().filter(|p| p.dirty).count()
+    }
+
+    /// Attaches a fault-injection clock to the underlying disk (see
+    /// [`crate::fault`]).
+    pub fn set_fault_clock(&mut self, clock: FaultClock) {
+        self.disk.set_fault_clock(clock);
+    }
+
+    /// The underlying block device — the checkpoint layer serialises and
+    /// restores its image directly (uncharged: checkpointing I/O is
+    /// accounted separately under `ckpt.*`).
+    pub fn disk(&self) -> &SimDisk<T> {
+        &self.disk
+    }
+
+    /// Mutable access to the underlying block device (recovery restores
+    /// blocks; snapshots clear the changed set).
+    pub fn disk_mut(&mut self) -> &mut SimDisk<T> {
+        &mut self.disk
+    }
+
     fn touch_page(&mut self, page: u64) -> &mut Page<T> {
         self.clock += 1;
         let clock = self.clock;
@@ -126,6 +155,8 @@ impl<T: Copy + Default> ExtArena<T> {
     }
 
     /// Writes all dirty pages back to the disk (end-of-run flush).
+    /// Publishes `extmem.flush.pages` to the `gep_obs` recorder so the
+    /// drop path is observable in tests.
     pub fn flush(&mut self) {
         // Flush in page order: sequential, like a sane final write-back.
         let mut dirty: Vec<u64> = self
@@ -135,6 +166,7 @@ impl<T: Copy + Default> ExtArena<T> {
             .map(|(&id, _)| id)
             .collect();
         dirty.sort_unstable();
+        let flushed = dirty.len() as u64;
         for id in dirty {
             let p = self.cache.get_mut(&id).expect("resident");
             let data = std::mem::replace(&mut p.data, Vec::new().into_boxed_slice());
@@ -142,6 +174,21 @@ impl<T: Copy + Default> ExtArena<T> {
             let p = self.cache.get_mut(&id).expect("resident");
             p.data = data;
             p.dirty = false;
+        }
+        if flushed > 0 && gep_obs::enabled() {
+            gep_obs::counter_add("extmem.flush.pages", flushed);
+        }
+    }
+}
+
+impl<T: Copy + Default> Drop for ExtArena<T> {
+    fn drop(&mut self) {
+        // Deterministic write-back on the normal exit path. During a
+        // panic (including an injected crash) the dirty pages are
+        // *deliberately* lost — that is exactly the volatile state a real
+        // crash destroys, and re-entering the disk here could double-panic.
+        if !std::thread::panicking() {
+            self.flush();
         }
     }
 }
@@ -222,6 +269,69 @@ mod tests {
         for i in 0..40 {
             assert_eq!(a.read(i), 100 + i as i64);
         }
+    }
+
+    #[test]
+    fn dirty_pages_tracks_unflushed_writes() {
+        let mut a = arena(4);
+        assert_eq!(a.dirty_pages(), 0);
+        a.write(0, 1);
+        a.write(8, 2);
+        assert_eq!(a.dirty_pages(), 2);
+        let _ = a.read(16);
+        assert_eq!(a.dirty_pages(), 2, "reads do not dirty");
+        a.flush();
+        assert_eq!(a.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn drop_flushes_dirty_pages_deterministically() {
+        // The global recorder observes the drop-path flush even though the
+        // arena (and its disk) die with it.
+        let _g = obs_test_lock();
+        let _ = gep_obs::take();
+        gep_obs::install(gep_obs::Recorder::counters_only());
+        {
+            let mut a = arena(4);
+            a.write(0, 1);
+            a.write(8, 2);
+            a.write(9, 3); // same page as 8
+        } // drop → flush
+        let rec = gep_obs::take().expect("recorder installed above");
+        assert_eq!(rec.counter("extmem.flush.pages"), 2);
+        assert_eq!(
+            rec.counter("io.unlabelled.block_writes"),
+            0,
+            "flush publishes its own counter, not io.* (those need a label)"
+        );
+    }
+
+    #[test]
+    fn drop_during_panic_skips_flush() {
+        let _g = obs_test_lock();
+        let _ = gep_obs::take();
+        crate::fault::silence_injected_crash_reports();
+        gep_obs::install(gep_obs::Recorder::counters_only());
+        let result = crate::fault::run_to_crash(|| {
+            let mut a = arena(4);
+            a.write(0, 1);
+            crate::fault::crash(1, false);
+        });
+        assert!(result.is_err());
+        let rec = gep_obs::take().expect("recorder installed above");
+        assert_eq!(
+            rec.counter("extmem.flush.pages"),
+            0,
+            "unwinding must not write back volatile state"
+        );
+    }
+
+    /// Serializes tests in this binary that touch the process-global
+    /// `gep_obs` recorder.
+    pub(crate) fn obs_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        use std::sync::{Mutex, PoisonError};
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The simulated block device.
 
-use std::collections::HashMap;
+use crate::fault::{self, FaultClock, WriteFate};
+use std::collections::{BTreeSet, HashMap};
 
 /// Timing model of a disk drive.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -34,6 +35,8 @@ pub struct IoStats {
     pub seeks: u64,
     /// Bytes transferred in either direction.
     pub bytes: u64,
+    /// Transient read errors that were retried (fault injection).
+    pub retries: u64,
     /// Modelled cumulative I/O wait in seconds.
     pub wait_s: f64,
 }
@@ -45,8 +48,12 @@ impl IoStats {
     }
 
     /// Publishes the counters to the `gep_obs` recorder (if one is
-    /// installed) under `io.<label>.{block_reads,block_writes,seeks,bytes}`
-    /// plus the gauge `io.<label>.wait_s`.
+    /// installed) under
+    /// `io.<label>.{block_reads,block_writes,seeks,bytes,retries}` plus
+    /// the gauges `io.<label>.wait_s` and `io.<label>.retry_rate` (retries
+    /// per block read). The `io.*` family sorts after `cache.*` and
+    /// `ckpt.*` in the summary's counter table (BTreeMap order — pinned
+    /// by the `gep-obs` summary tests).
     pub fn publish(&self, label: &str) {
         if !gep_obs::enabled() {
             return;
@@ -55,7 +62,14 @@ impl IoStats {
         gep_obs::counter_add(&format!("io.{label}.block_writes"), self.block_writes);
         gep_obs::counter_add(&format!("io.{label}.seeks"), self.seeks);
         gep_obs::counter_add(&format!("io.{label}.bytes"), self.bytes);
+        gep_obs::counter_add(&format!("io.{label}.retries"), self.retries);
         gep_obs::gauge_set(&format!("io.{label}.wait_s"), self.wait_s);
+        if self.block_reads > 0 {
+            gep_obs::gauge_set(
+                &format!("io.{label}.retry_rate"),
+                self.retries as f64 / self.block_reads as f64,
+            );
+        }
     }
 }
 
@@ -72,6 +86,10 @@ pub struct SimDisk<T = u8> {
     blocks: HashMap<u64, Box<[T]>>,
     stats: IoStats,
     last_block: Option<u64>,
+    /// Blocks written since the last [`Self::mark_clean`] — the
+    /// snapshotter's delta set.
+    changed: BTreeSet<u64>,
+    fault: Option<FaultClock>,
 }
 
 impl<T: Copy + Default> SimDisk<T> {
@@ -90,7 +108,15 @@ impl<T: Copy + Default> SimDisk<T> {
             blocks: HashMap::new(),
             stats: IoStats::default(),
             last_block: None,
+            changed: BTreeSet::new(),
+            fault: None,
         }
+    }
+
+    /// Attaches a fault-injection clock (see [`crate::fault`]). Reads and
+    /// writes consult it from then on; `None` faults are free.
+    pub fn set_fault_clock(&mut self, clock: FaultClock) {
+        self.fault = Some(clock);
     }
 
     /// Block size in bytes (the timing unit).
@@ -127,10 +153,25 @@ impl<T: Copy + Default> SimDisk<T> {
 
     /// Reads block `id` into a fresh buffer (`T::default()` if never
     /// written, which charges no transfer).
+    ///
+    /// With a fault clock attached, a transient read error is retried with
+    /// a modelled backoff (one average seek per attempt, charged to
+    /// `wait_s` and counted in [`IoStats::retries`]); an exhausted retry
+    /// budget escalates to an injected crash.
     pub fn read_block(&mut self, id: u64) -> Box<[T]> {
         match self.blocks.get(&id) {
             Some(data) => {
                 let out = data.clone();
+                if let Some(clock) = self.fault.clone() {
+                    while clock.borrow_mut().on_read() {
+                        self.stats.retries += 1;
+                        self.stats.wait_s += self.profile.avg_seek_s;
+                        if !clock.borrow_mut().on_retry() {
+                            let at = clock.borrow().writes();
+                            fault::crash(at, false);
+                        }
+                    }
+                }
                 self.stats.block_reads += 1;
                 self.charge(id);
                 out
@@ -141,12 +182,62 @@ impl<T: Copy + Default> SimDisk<T> {
 
     /// Writes block `id`.
     ///
+    /// With a fault clock attached, the planned crash-at-Nth-write fires
+    /// *before* the block is stored: the simulated disk is volatile state
+    /// that a real crash would take down with the process, so nothing of
+    /// the doomed write survives (torn prefixes only apply to stable-store
+    /// appends, i.e. the WAL).
+    ///
     /// # Panics
     /// Panics if `data` is not exactly one block.
     pub fn write_block(&mut self, id: u64, data: &[T]) {
         assert_eq!(data.len(), self.block_elems);
+        if let Some(clock) = self.fault.clone() {
+            let fate = clock.borrow_mut().on_write(std::mem::size_of_val(data));
+            if let WriteFate::Crash { .. } = fate {
+                let at = clock.borrow().writes();
+                fault::crash(at, false);
+            }
+        }
         self.stats.block_writes += 1;
         self.charge(id);
+        self.changed.insert(id);
+        self.blocks.insert(id, data.into());
+    }
+
+    /// Ids of the blocks written since the last [`Self::mark_clean`]
+    /// (ascending). The checkpoint snapshotter's delta set.
+    pub fn changed_blocks(&self) -> Vec<u64> {
+        self.changed.iter().copied().collect()
+    }
+
+    /// Clears the changed-block set (called after a snapshot commits).
+    pub fn mark_clean(&mut self) {
+        self.changed.clear();
+    }
+
+    /// Ids of every materialised block (ascending). Used by full
+    /// (generation-0) snapshots.
+    pub fn block_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.blocks.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Borrows block `id` without charging a transfer — checkpoint
+    /// serialisation reads the device image, not the simulated workload.
+    pub fn peek_block(&self, id: u64) -> Option<&[T]> {
+        self.blocks.get(&id).map(|b| &b[..])
+    }
+
+    /// Installs block `id` without charging a transfer or dirtying the
+    /// changed set — recovery restores the device image as of the
+    /// snapshot, which by definition is clean.
+    ///
+    /// # Panics
+    /// Panics if `data` is not exactly one block.
+    pub fn restore_block(&mut self, id: u64, data: &[T]) {
+        assert_eq!(data.len(), self.block_elems);
         self.blocks.insert(id, data.into());
     }
 }
@@ -223,6 +314,77 @@ mod tests {
         d.write_block(0, &buf); // seek 0.01 + 1e6/1e8 = 0.01 s transfer
         let s = d.stats();
         assert!((s.wait_s - 0.02).abs() < 1e-9, "wait = {}", s.wait_s);
+    }
+
+    #[test]
+    fn changed_block_tracking_and_uncharged_accessors() {
+        let mut d = disk();
+        let buf = vec![3u8; 4096];
+        d.write_block(2, &buf);
+        d.write_block(9, &buf);
+        assert_eq!(d.changed_blocks(), vec![2, 9]);
+        d.mark_clean();
+        assert!(d.changed_blocks().is_empty());
+        d.write_block(9, &buf);
+        assert_eq!(d.changed_blocks(), vec![9]);
+        assert_eq!(d.block_ids(), vec![2, 9]);
+
+        let before = d.stats();
+        assert_eq!(d.peek_block(2).unwrap()[0], 3);
+        assert!(d.peek_block(99).is_none());
+        let restored = vec![7u8; 4096];
+        d.restore_block(5, &restored);
+        assert_eq!(d.stats(), before, "peek/restore charge no I/O");
+        assert!(d.changed_blocks() == vec![9], "restore does not dirty");
+        assert_eq!(d.peek_block(5).unwrap()[0], 7);
+    }
+
+    #[test]
+    fn write_crash_fires_before_block_persists() {
+        use crate::fault::{fault_clock, run_to_crash, FaultPlan};
+        crate::fault::silence_injected_crash_reports();
+        let clock = fault_clock(FaultPlan {
+            crash_at_write: Some(2),
+            ..Default::default()
+        });
+        let mut d = disk();
+        d.set_fault_clock(clock);
+        let buf = vec![1u8; 4096];
+        d.write_block(0, &buf);
+        let err =
+            run_to_crash(std::panic::AssertUnwindSafe(|| d.write_block(1, &buf))).unwrap_err();
+        assert_eq!(err.at_write, 2);
+        assert!(d.peek_block(0).is_some());
+        assert!(d.peek_block(1).is_none(), "doomed write must not persist");
+    }
+
+    #[test]
+    fn read_faults_retry_with_backoff_and_count() {
+        use crate::fault::{fault_clock, FaultPlan};
+        let clock = fault_clock(FaultPlan {
+            read_fail_every: Some(2),
+            max_retries: 3,
+            ..Default::default()
+        });
+        let mut d = disk();
+        d.set_fault_clock(clock);
+        let buf = vec![5u8; 4096];
+        d.write_block(0, &buf);
+        let wait_before = d.stats().wait_s;
+        assert_eq!(d.read_block(0)[0], 5); // read #1 ok
+        assert_eq!(d.read_block(0)[0], 5); // read #2 fails, retry (#3) ok
+        let s = d.stats();
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.block_reads, 2);
+        // Both reads are sequential (same block as the write), so the
+        // only seek-sized charge is the single retry backoff.
+        let seek = DiskProfile::fujitsu_map3735nc().avg_seek_s;
+        assert!(
+            s.wait_s > wait_before + seek && s.wait_s < wait_before + 2.0 * seek,
+            "exactly one retry backoff charged: {} vs before {}",
+            s.wait_s,
+            wait_before
+        );
     }
 
     #[test]

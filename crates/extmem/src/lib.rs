@@ -22,9 +22,22 @@
 //! modelled *I/O wait time* that Figure 7 plots.
 
 pub mod arena;
+pub mod checkpoint;
 pub mod disk;
+pub mod fault;
 pub mod matrix;
+pub mod store;
+pub mod wal;
 
 pub use arena::ExtArena;
+pub use checkpoint::{
+    recover, run_checkpointed, CkptConfig, CkptStats, ElemBytes, Manifest, Recovery,
+};
 pub use disk::{DiskProfile, IoStats, SimDisk};
+pub use fault::{
+    fault_clock, run_to_crash, silence_injected_crash_reports, FaultClock, FaultPlan,
+    InjectedCrash, WriteFate,
+};
 pub use matrix::{ExtMatrix, SharedArena};
+pub use store::{CkptStore, DirStore, MemStore};
+pub use wal::{crc32, read_wal, WalRecord, WalScan};

@@ -13,7 +13,7 @@ pub type SharedArena<T> = Rc<RefCell<ExtArena<T>>>;
 /// An `n × n` matrix stored out-of-core (row-major within its arena
 /// region), implementing [`CellStore`] so the GEP engines run over it
 /// unchanged.
-pub struct ExtMatrix<T> {
+pub struct ExtMatrix<T: Copy + Default> {
     arena: SharedArena<T>,
     base: u64,
     n: usize,
@@ -39,7 +39,13 @@ impl<T: Copy + Default> ExtMatrix<T> {
     }
 
     /// Reads the whole matrix back in-core (for verification).
+    ///
+    /// Flushes the shared arena first so the on-disk image and the
+    /// returned matrix agree — reading back must leave no dirty page
+    /// behind whose loss (in a crash) would change what a checkpoint or a
+    /// re-read observes.
     pub fn to_matrix(&mut self) -> Matrix<T> {
+        self.arena.borrow_mut().flush();
         let n = self.n;
         let mut out = Matrix::square(n, T::default());
         for i in 0..n {
@@ -180,6 +186,36 @@ mod tests {
             igep_wait * 5.0 < gep_wait,
             "I-GEP {igep_wait:.3}s vs GEP {gep_wait:.3}s"
         );
+    }
+
+    #[test]
+    fn to_matrix_flushes_dirty_pages_first() {
+        let arena = shared(8 * 64, 64);
+        let m = Matrix::from_fn(8, 8, |i, j| (10 * i + j) as i64);
+        let mut ext = ExtMatrix::from_matrix(arena.clone(), &m);
+        assert!(arena.borrow().dirty_pages() > 0, "load leaves dirty pages");
+        let back = ext.to_matrix();
+        assert_eq!(back, m);
+        assert_eq!(
+            arena.borrow().dirty_pages(),
+            0,
+            "to_matrix must leave the disk image committed"
+        );
+        // The flushed disk image itself holds the data: a fresh read of
+        // every block (bypassing cache state) agrees with the matrix.
+        let a = arena.borrow();
+        let disk = a.disk();
+        assert!(!disk.block_ids().is_empty());
+        let epp = a.elems_per_page() as u64;
+        for id in disk.block_ids() {
+            let blk = disk.peek_block(id).expect("materialised");
+            for (off, &v) in blk.iter().enumerate() {
+                let idx = id * epp + off as u64;
+                if idx < 64 {
+                    assert_eq!(v, m.get((idx / 8) as usize, (idx % 8) as usize));
+                }
+            }
+        }
     }
 
     #[test]

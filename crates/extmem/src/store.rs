@@ -1,0 +1,319 @@
+//! Stable storage for checkpoints: the only state that survives a crash.
+//!
+//! The crash model splits the world in two. Everything in the process —
+//! the [`crate::ExtArena`] page cache, the [`crate::SimDisk`] image, the
+//! recursion stack — is *volatile* and dies with an injected crash. A
+//! [`CkptStore`] is *stable*: what it committed before the crash is
+//! readable afterwards. Two write primitives with different crash
+//! semantics cover everything the checkpoint protocol needs:
+//!
+//! * [`CkptStore::put_atomic`] — all-or-nothing replacement (the
+//!   tmp-file + rename idiom). A crash during the put leaves the **old**
+//!   value (or absence) fully intact; the new value is never seen
+//!   partially.
+//! * [`CkptStore::append`] — append to a log. A crash during the append
+//!   may persist a **torn prefix** of the record; readers must detect
+//!   and discard it (the WAL's per-record checksums exist for this).
+//!
+//! [`MemStore`] is the deterministic in-memory implementation the
+//! crash-fuzz harness uses, wired to the [`crate::fault`] clock so the
+//! Nth-write crash point counts stable-store writes in the same sequence
+//! as disk block writes. [`DirStore`] is the real-filesystem
+//! implementation (atomic puts via tmp + rename) for actual out-of-core
+//! runs.
+
+use crate::fault::{self, FaultClock, WriteFate};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Stable checkpoint storage. Object names are flat (no directories);
+/// the checkpoint layer uses `MANIFEST`, `WAL`, and `snap-<gen>`.
+pub trait CkptStore {
+    /// Atomically replaces `name` with `data` (all-or-nothing under
+    /// crashes).
+    fn put_atomic(&mut self, name: &str, data: &[u8]);
+    /// Appends `data` to `name` (creating it empty first if absent). A
+    /// crash mid-append may persist a prefix.
+    fn append(&mut self, name: &str, data: &[u8]);
+    /// Reads the full contents of `name`, if present.
+    fn read(&self, name: &str) -> Option<Vec<u8>>;
+    /// Removes `name` (idempotent).
+    fn remove(&mut self, name: &str);
+    /// All object names, ascending.
+    fn list(&self) -> Vec<String>;
+    /// Total bytes held (for `ckpt.*` accounting).
+    fn total_bytes(&self) -> u64;
+}
+
+/// Deterministic in-memory store with fault injection — the harness's
+/// stable storage.
+#[derive(Default)]
+pub struct MemStore {
+    objects: BTreeMap<String, Vec<u8>>,
+    fault: Option<FaultClock>,
+}
+
+impl MemStore {
+    /// An empty store; `fault` threads the shared write clock through so
+    /// checkpoint writes share the crash-point numbering with disk
+    /// writes.
+    pub fn new(fault: Option<FaultClock>) -> Self {
+        Self {
+            objects: BTreeMap::new(),
+            fault,
+        }
+    }
+
+    /// Replaces the fault clock (e.g. a resumed attempt reusing the same
+    /// store with a fresh plan).
+    pub fn set_fault_clock(&mut self, clock: Option<FaultClock>) {
+        self.fault = clock;
+    }
+
+    /// Flips every bit of byte `at` of object `name` (panics if absent or
+    /// out of range). Test support: models silent on-media corruption,
+    /// which recovery must detect by checksum.
+    pub fn corrupt(&mut self, name: &str, at: usize) {
+        let obj = self.objects.get_mut(name).expect("corrupt: no such object");
+        obj[at] ^= 0xFF;
+    }
+
+    /// Decides the fate of a stable write of `len` bytes.
+    fn gate(&mut self, len: usize) -> WriteFate {
+        match &self.fault {
+            Some(clock) => clock.borrow_mut().on_write(len),
+            None => WriteFate::Proceed,
+        }
+    }
+
+    fn write_number(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |c| c.borrow().writes())
+    }
+}
+
+impl CkptStore for MemStore {
+    fn put_atomic(&mut self, name: &str, data: &[u8]) {
+        if let WriteFate::Crash { .. } = self.gate(data.len()) {
+            // Atomic: the crash happens "before the rename" — the old
+            // object (or its absence) survives untouched. A torn prefix
+            // would only ever exist in the tmp file, which recovery
+            // ignores.
+            let at = self.write_number();
+            fault::crash(at, false);
+        }
+        self.objects.insert(name.to_string(), data.to_vec());
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) {
+        match self.gate(data.len()) {
+            WriteFate::Proceed => {
+                self.objects
+                    .entry(name.to_string())
+                    .or_default()
+                    .extend_from_slice(data);
+            }
+            WriteFate::Crash { torn_prefix } => {
+                let at = self.write_number();
+                let torn = torn_prefix > 0;
+                self.objects
+                    .entry(name.to_string())
+                    .or_default()
+                    .extend_from_slice(&data[..torn_prefix.min(data.len())]);
+                fault::crash(at, torn);
+            }
+        }
+    }
+
+    fn read(&self, name: &str) -> Option<Vec<u8>> {
+        self.objects.get(name).cloned()
+    }
+
+    fn remove(&mut self, name: &str) {
+        self.objects.remove(name);
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.objects.keys().cloned().collect()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.objects.values().map(|v| v.len() as u64).sum()
+    }
+}
+
+/// Real-filesystem store: one file per object under a base directory,
+/// atomic puts via write-to-tmp + rename (the same commit idiom journals
+/// and package managers use). No fault injection — this is the
+/// production path; the protocol it implements is the one [`MemStore`]
+/// fuzzes.
+pub struct DirStore {
+    base: PathBuf,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) the store rooted at `base`.
+    ///
+    /// # Panics
+    /// Panics if the directory cannot be created.
+    pub fn open(base: impl Into<PathBuf>) -> Self {
+        let base = base.into();
+        std::fs::create_dir_all(&base).expect("DirStore: create base dir");
+        Self { base }
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        assert!(
+            !name.is_empty() && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-'),
+            "object names are flat tokens: {name:?}"
+        );
+        self.base.join(name)
+    }
+}
+
+impl CkptStore for DirStore {
+    fn put_atomic(&mut self, name: &str, data: &[u8]) {
+        let target = self.path(name);
+        let tmp = self.base.join(format!("{name}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp).expect("DirStore: create tmp");
+            f.write_all(data).expect("DirStore: write tmp");
+            f.sync_all().expect("DirStore: fsync tmp");
+        }
+        std::fs::rename(&tmp, &target).expect("DirStore: rename into place");
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))
+            .expect("DirStore: open for append");
+        f.write_all(data).expect("DirStore: append");
+        f.sync_all().expect("DirStore: fsync append");
+    }
+
+    fn read(&self, name: &str) -> Option<Vec<u8>> {
+        std::fs::read(self.path(name)).ok()
+    }
+
+    fn remove(&mut self, name: &str) {
+        let _ = std::fs::remove_file(self.path(name));
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(&self.base)
+            .map(|rd| {
+                rd.filter_map(|e| {
+                    let name = e.ok()?.file_name().into_string().ok()?;
+                    (!name.ends_with(".tmp")).then_some(name)
+                })
+                .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.list()
+            .iter()
+            .filter_map(|n| self.read(n))
+            .map(|v| v.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{fault_clock, run_to_crash, silence_injected_crash_reports, FaultPlan};
+
+    #[test]
+    fn memstore_roundtrip_list_remove() {
+        let mut s = MemStore::new(None);
+        s.put_atomic("MANIFEST", b"v1");
+        s.append("WAL", b"abc");
+        s.append("WAL", b"def");
+        assert_eq!(s.read("WAL").unwrap(), b"abcdef");
+        assert_eq!(s.read("MANIFEST").unwrap(), b"v1");
+        assert_eq!(s.list(), vec!["MANIFEST".to_string(), "WAL".to_string()]);
+        assert_eq!(s.total_bytes(), 8);
+        s.remove("WAL");
+        assert!(s.read("WAL").is_none());
+    }
+
+    #[test]
+    fn memstore_put_atomic_crash_keeps_old_value() {
+        silence_injected_crash_reports();
+        let clock = fault_clock(FaultPlan {
+            crash_at_write: Some(2),
+            torn_write: true, // irrelevant for puts: atomicity wins
+            ..Default::default()
+        });
+        let mut s = MemStore::new(Some(clock));
+        s.put_atomic("MANIFEST", b"old");
+        let err = run_to_crash(std::panic::AssertUnwindSafe(|| {
+            s.put_atomic("MANIFEST", b"newer-and-longer")
+        }))
+        .unwrap_err();
+        assert_eq!(err.at_write, 2);
+        assert!(!err.torn);
+        assert_eq!(s.read("MANIFEST").unwrap(), b"old");
+    }
+
+    #[test]
+    fn memstore_append_crash_persists_torn_prefix_only() {
+        silence_injected_crash_reports();
+        let clock = fault_clock(FaultPlan {
+            crash_at_write: Some(2),
+            torn_write: true,
+            ..Default::default()
+        });
+        let mut s = MemStore::new(Some(clock));
+        s.append("WAL", b"first-record|");
+        let err = run_to_crash(std::panic::AssertUnwindSafe(|| {
+            s.append("WAL", b"second-record|")
+        }))
+        .unwrap_err();
+        let wal = s.read("WAL").unwrap();
+        assert!(wal.starts_with(b"first-record|"), "prior records intact");
+        let tail = wal.len() - b"first-record|".len();
+        assert!(tail < b"second-record|".len(), "only a prefix persisted");
+        assert_eq!(err.torn, tail > 0);
+    }
+
+    #[test]
+    fn memstore_corrupt_flips_bits() {
+        let mut s = MemStore::new(None);
+        s.put_atomic("snap-0", &[1, 2, 3]);
+        s.corrupt("snap-0", 1);
+        assert_eq!(s.read("snap-0").unwrap(), vec![1, 2 ^ 0xFF, 3]);
+    }
+
+    #[test]
+    fn dirstore_roundtrip_on_real_fs() {
+        let base = std::env::temp_dir().join(format!("gep-dirstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let mut s = DirStore::open(&base);
+        s.put_atomic("MANIFEST", b"m0");
+        s.put_atomic("MANIFEST", b"m1");
+        s.append("WAL", b"aa");
+        s.append("WAL", b"bb");
+        s.put_atomic("snap-0", &vec![7u8; 1000]);
+        assert_eq!(s.read("MANIFEST").unwrap(), b"m1");
+        assert_eq!(s.read("WAL").unwrap(), b"aabb");
+        assert_eq!(
+            s.list(),
+            vec![
+                "MANIFEST".to_string(),
+                "WAL".to_string(),
+                "snap-0".to_string()
+            ]
+        );
+        assert_eq!(s.total_bytes(), 2 + 4 + 1000);
+        s.remove("snap-0");
+        assert!(s.read("snap-0").is_none());
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

@@ -1,0 +1,292 @@
+//! The write-ahead log: an append-only, checksummed record stream.
+//!
+//! I-GEP's leaf schedule is a pure function of `(Σ, n, base)` — see
+//! [`gep_core::resume`] — so the WAL does not need to log *data* at all:
+//! **determinism is the redo log**. What it records is *progress*: which
+//! snapshot generations committed at which cursors, so recovery can
+//! cross-check the manifest against an append-only history and a
+//! torn-tail write (the classic crash-during-append) is detectable and
+//! discardable.
+//!
+//! ## Record format
+//!
+//! Every record is self-delimiting and individually checksummed:
+//!
+//! ```text
+//! ┌───────┬──────┬─────────┬────────────┬───────────┐
+//! │ magic │ kind │ len u32 │ payload    │ crc32 u32 │
+//! │ 0xA5  │ u8   │ LE      │ len bytes  │ LE        │
+//! └───────┴──────┴─────────┴────────────┴───────────┘
+//! ```
+//!
+//! The CRC-32 (IEEE polynomial, the zlib one) covers magic, kind, length
+//! and payload. [`read_wal`] returns the longest valid prefix of records
+//! and whether trailing bytes were discarded — a torn append truncates to
+//! a record boundary instead of poisoning the log.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the zlib/PNG
+/// checksum, implemented here because the workspace vendors no crates.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+const MAGIC: u8 = 0xA5;
+
+/// One WAL record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A run began: the schedule parameters that make the cursor
+    /// meaningful.
+    Start {
+        /// Matrix dimension.
+        n: u64,
+        /// Base-case size of the recursion.
+        base: u64,
+        /// Total leaf steps in the schedule ([`gep_core::igep_step_count`]).
+        total_steps: u64,
+        /// Leaf steps between snapshots.
+        snapshot_every: u64,
+    },
+    /// Snapshot `gen` committed; leaf steps `1..=cursor` are durable.
+    Snapshot {
+        /// Snapshot generation (0 = full image, k > 0 = delta).
+        gen: u64,
+        /// Last completed leaf step covered by the snapshot.
+        cursor: u64,
+    },
+    /// The run finished; `cursor` equals the schedule's total steps.
+    Complete {
+        /// Final cursor.
+        cursor: u64,
+    },
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))
+}
+
+fn get_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+}
+
+impl WalRecord {
+    fn kind(&self) -> u8 {
+        match self {
+            WalRecord::Start { .. } => 1,
+            WalRecord::Snapshot { .. } => 2,
+            WalRecord::Complete { .. } => 3,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match *self {
+            WalRecord::Start {
+                n,
+                base,
+                total_steps,
+                snapshot_every,
+            } => {
+                put_u64(&mut p, n);
+                put_u64(&mut p, base);
+                put_u64(&mut p, total_steps);
+                put_u64(&mut p, snapshot_every);
+            }
+            WalRecord::Snapshot { gen, cursor } => {
+                put_u64(&mut p, gen);
+                put_u64(&mut p, cursor);
+            }
+            WalRecord::Complete { cursor } => put_u64(&mut p, cursor),
+        }
+        p
+    }
+
+    fn decode(kind: u8, payload: &[u8]) -> Option<WalRecord> {
+        match (kind, payload.len()) {
+            (1, 32) => Some(WalRecord::Start {
+                n: get_u64(payload),
+                base: get_u64(&payload[8..]),
+                total_steps: get_u64(&payload[16..]),
+                snapshot_every: get_u64(&payload[24..]),
+            }),
+            (2, 16) => Some(WalRecord::Snapshot {
+                gen: get_u64(payload),
+                cursor: get_u64(&payload[8..]),
+            }),
+            (3, 8) => Some(WalRecord::Complete {
+                cursor: get_u64(payload),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Serialises the record (magic, kind, length, payload, CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.payload();
+        let mut out = Vec::with_capacity(10 + payload.len());
+        out.push(MAGIC);
+        out.push(self.kind());
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+}
+
+/// The result of scanning a WAL buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalScan {
+    /// The longest valid prefix of records.
+    pub records: Vec<WalRecord>,
+    /// Bytes discarded after the last valid record (torn append or
+    /// corruption). Zero for a cleanly closed log.
+    pub torn_bytes: usize,
+}
+
+/// Scans `buf`, returning every record of its longest valid prefix. A
+/// record with a bad magic byte, an invalid checksum, an unknown kind, or
+/// a truncated body ends the scan: everything from there on counts as
+/// `torn_bytes`. This makes a torn append (the fault injector's
+/// [`crate::fault::FaultPlan::torn_write`]) indistinguishable from a
+/// clean log plus garbage — which is the invariant recovery needs.
+pub fn read_wal(buf: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let rest = &buf[pos..];
+        if rest.len() < 10 || rest[0] != MAGIC {
+            break;
+        }
+        let kind = rest[1];
+        let len = get_u32(&rest[2..]) as usize;
+        let total = 10 + len;
+        if rest.len() < total {
+            break; // truncated body: torn tail
+        }
+        let crc_stored = get_u32(&rest[6 + len..]);
+        if crc32(&rest[..6 + len]) != crc_stored {
+            break;
+        }
+        let Some(rec) = WalRecord::decode(kind, &rest[6..6 + len]) else {
+            break;
+        };
+        records.push(rec);
+        pos += total;
+    }
+    WalScan {
+        records,
+        torn_bytes: buf.len() - pos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Start {
+                n: 64,
+                base: 8,
+                total_steps: 512,
+                snapshot_every: 100,
+            },
+            WalRecord::Snapshot { gen: 0, cursor: 0 },
+            WalRecord::Snapshot {
+                gen: 1,
+                cursor: 100,
+            },
+            WalRecord::Complete { cursor: 512 },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic zlib test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut buf = Vec::new();
+        for r in sample() {
+            buf.extend_from_slice(&r.encode());
+        }
+        let scan = read_wal(&buf);
+        assert_eq!(scan.records, sample());
+        assert_eq!(scan.torn_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_at_every_cut_point() {
+        let mut buf = Vec::new();
+        for r in sample() {
+            buf.extend_from_slice(&r.encode());
+        }
+        let last = sample().last().unwrap().encode();
+        let intact = buf.len() - last.len();
+        // Cut the final record at every possible torn length: the first
+        // three records always survive, the fourth never does.
+        for cut in 0..last.len() {
+            let torn = &buf[..intact + cut];
+            let scan = read_wal(torn);
+            assert_eq!(scan.records, sample()[..3].to_vec(), "cut={cut}");
+            assert_eq!(scan.torn_bytes, cut, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_record_ends_the_valid_prefix() {
+        let mut buf = Vec::new();
+        for r in sample() {
+            buf.extend_from_slice(&r.encode());
+        }
+        // Flip one payload byte in the third record.
+        let off = sample()[0].encode().len() + sample()[1].encode().len() + 7;
+        buf[off] ^= 0x01;
+        let scan = read_wal(&buf);
+        assert_eq!(scan.records, sample()[..2].to_vec());
+        assert!(scan.torn_bytes > 0);
+    }
+
+    #[test]
+    fn garbage_and_empty_logs() {
+        assert_eq!(read_wal(&[]), WalScan::default());
+        let scan = read_wal(&[0u8; 64]);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.torn_bytes, 64);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the `ExtArena` LRU page cache — the substrate the
+//! checkpoint snapshotter relies on.
+//!
+//! Random interleavings of element reads, writes, and explicit flushes
+//! over arenas of varying cache and page geometry must round-trip against
+//! an in-core mirror: the cache layer (hits, evictions, write-backs,
+//! reloads) may never change a value. A second property pins the
+//! flush/disk-image invariant: after a flush there are no dirty pages and
+//! every mirror value is readable from the raw block device, which is
+//! exactly what a block-level snapshot would serialise.
+
+use gep_extmem::{DiskProfile, ExtArena};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Write element `idx` (value derived from the op index).
+    Write(u64),
+    /// Read element `idx` and compare against the mirror.
+    Read(u64),
+    /// Write back all dirty pages mid-run.
+    Flush,
+}
+
+/// Strategy: a batch of ops over a bounded element range, so pages are
+/// revisited often enough to exercise eviction and reload.
+fn ops(max_idx: u64) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u64..10, 0u64..max_idx).prop_map(|(kind, idx)| match kind {
+            0..=4 => Op::Write(idx),
+            5..=8 => Op::Read(idx),
+            _ => Op::Flush,
+        }),
+        1..=400,
+    )
+}
+
+/// Geometry: cache of 1..=8 pages, pages of 1..=16 i64 elements.
+fn geometry() -> impl Strategy<Value = (u64, u64)> {
+    (1u64..=8, 0u32..=4).prop_map(|(pages, shift)| {
+        let b_bytes = 8u64 << shift; // 8..=128 bytes = 1..=16 i64
+        (pages * b_bytes, b_bytes)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_interleavings_round_trip_against_mirror(
+        (m_bytes, b_bytes) in geometry(),
+        script in ops(256),
+    ) {
+        let mut arena: ExtArena<i64> =
+            ExtArena::new(m_bytes, b_bytes, DiskProfile::fujitsu_map3735nc());
+        let mut mirror: HashMap<u64, i64> = HashMap::new();
+        for (t, op) in script.iter().enumerate() {
+            match *op {
+                Op::Write(idx) => {
+                    let v = (t as i64 + 1) * 1_000_003 + idx as i64;
+                    arena.write(idx, v);
+                    mirror.insert(idx, v);
+                }
+                Op::Read(idx) => {
+                    let expect = mirror.get(&idx).copied().unwrap_or(0);
+                    prop_assert_eq!(arena.read(idx), expect,
+                        "divergence at op {} reading {}", t, idx);
+                }
+                Op::Flush => arena.flush(),
+            }
+        }
+        // Full sweep at the end: every element agrees, including the
+        // never-written ones (default 0).
+        for idx in 0..256 {
+            let expect = mirror.get(&idx).copied().unwrap_or(0);
+            prop_assert_eq!(arena.read(idx), expect, "final sweep at {}", idx);
+        }
+    }
+
+    #[test]
+    fn flush_commits_the_exact_mirror_image_to_disk(
+        (m_bytes, b_bytes) in geometry(),
+        script in ops(128),
+    ) {
+        let mut arena: ExtArena<i64> =
+            ExtArena::new(m_bytes, b_bytes, DiskProfile::fujitsu_map3735nc());
+        let mut mirror: HashMap<u64, i64> = HashMap::new();
+        for (t, op) in script.iter().enumerate() {
+            match *op {
+                Op::Write(idx) => {
+                    let v = (t as i64 + 1) * 7_777_777 + idx as i64;
+                    arena.write(idx, v);
+                    mirror.insert(idx, v);
+                }
+                Op::Read(idx) => {
+                    let _ = arena.read(idx);
+                }
+                Op::Flush => arena.flush(),
+            }
+        }
+        arena.flush();
+        prop_assert_eq!(arena.dirty_pages(), 0);
+        // The raw device image (what a snapshot serialises) holds every
+        // written value.
+        let epp = arena.elems_per_page() as u64;
+        for (&idx, &v) in &mirror {
+            let (page, off) = (idx / epp, (idx % epp) as usize);
+            let blk = arena.disk().peek_block(page)
+                .expect("written element's page must be materialised after flush");
+            prop_assert_eq!(blk[off], v, "disk image disagrees at element {}", idx);
+        }
+    }
+}

@@ -101,14 +101,27 @@ mod tests {
         let _g = crate::recorder::test_lock();
         install(Recorder::new());
         counter_add("io.gep.reads", 7);
+        counter_add("io.gep.retries", 2);
         counter_add("cache.l1.misses", 3);
+        counter_add("ckpt.snap.bytes", 4096);
+        counter_add("extmem.flush.pages", 5);
         counter_add("hwc.ge.llc_misses", 123_456_789);
         counter_add("hwc.unavailable", 1);
         let rec = take().unwrap();
         let text = summary(&rec);
+        // BTreeMap ordering pins the section layout the docs promise:
+        // cache.* < ckpt.* < extmem.* < io.* alphabetically.
         let cache_at = text.find("cache.l1.misses").expect("cache row present");
+        let ckpt_at = text.find("ckpt.snap.bytes").expect("ckpt row present");
+        let flush_at = text.find("extmem.flush.pages").expect("flush row present");
         let io_at = text.find("io.gep.reads").expect("io row present");
-        assert!(cache_at < io_at, "cache.* must precede io.*:\n{text}");
+        assert!(cache_at < ckpt_at, "cache.* must precede ckpt.*:\n{text}");
+        assert!(ckpt_at < flush_at, "ckpt.* must precede extmem.*:\n{text}");
+        assert!(flush_at < io_at, "extmem.* must precede io.*:\n{text}");
+        assert!(
+            text.contains("io.gep.retries"),
+            "retry counters appear in the io section:\n{text}"
+        );
         // hwc rows live under their own header, after the general table,
         // with the millions-scaled reading alongside the raw count.
         let hwc_header = text
