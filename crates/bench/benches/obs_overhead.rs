@@ -4,7 +4,11 @@
 //!
 //! The acceptance bar for the observability layer is that `disabled` is
 //! indistinguishable from the pre-instrumentation baseline; the other two
-//! configurations price the opt-in modes.
+//! configurations price the opt-in modes. The `disabled_paths` group
+//! guards the same bar for the newer hooks one call at a time: a
+//! disabled `hist_record` must stay one relaxed load, and a running
+//! sampler with no recorder installed must not slow the solve (it only
+//! touches the sink from its own thread).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gep_apps::floyd_warshall::FwSpec;
@@ -43,6 +47,34 @@ fn bench(c: &mut Criterion) {
             let rec = gep_obs::take().expect("recorder was installed");
             black_box((m[(0, 0)], rec.spans.len()))
         })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("obs_overhead_disabled_paths");
+    // A disabled hist_record is the hot-leaf fast path: price it alone,
+    // at call granularity.
+    g.bench_function("hist_record_disabled", |b| {
+        assert!(!gep_obs::enabled(), "recorder must be uninstalled here");
+        b.iter(|| gep_obs::hist_record(black_box("kernel.leaf_ns"), black_box(42)))
+    });
+    g.bench_function("gauge_set_disabled", |b| {
+        assert!(!gep_obs::enabled(), "recorder must be uninstalled here");
+        b.iter(|| gep_obs::gauge_set(black_box("progress.pct"), black_box(1.0)))
+    });
+    // A live sampler without an installed recorder: the solve must run at
+    // `disabled` speed while the sampler thread idles.
+    g.bench_function("igep512_sampler_no_recorder", |b| {
+        let path =
+            std::env::temp_dir().join(format!("gep-obs-overhead-{}.jsonl", std::process::id()));
+        let sampler =
+            gep_obs::Sampler::start(gep_obs::SamplerConfig::new(&path)).expect("start sampler");
+        b.iter(|| {
+            let mut m = input.clone();
+            igep_opt(&spec, &mut m, base);
+            black_box(m[(0, 0)])
+        });
+        sampler.stop();
+        let _ = std::fs::remove_file(path);
     });
     g.finish();
 }

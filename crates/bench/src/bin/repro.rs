@@ -7,6 +7,9 @@
 //! cargo run -p gep-bench --release --bin repro -- validate
 //! cargo run -p gep-bench --release --bin repro -- trace
 //! cargo run -p gep-bench --release --bin repro -- tune --json
+//! cargo run -p gep-bench --release --bin repro -- profile --json
+//! cargo run -p gep-bench --release --bin repro -- resume --flight flight.jsonl
+//! cargo run -p gep-bench --release --bin repro -- watch flight.jsonl
 //! ```
 //!
 //! With `--json`, every experiment also writes a machine-readable
@@ -15,6 +18,11 @@
 //! files, which is what CI archives. `trace` records one multithreaded
 //! I-GEP run and writes its A/B/C/D call tree as Chrome trace-event JSON
 //! (open `bench_json/trace_igep.json` at <https://ui.perfetto.dev>).
+//! `profile` attributes one recorded I-GEP solve per recursion depth and
+//! box shape, cross-checked exactly against the §3 recurrences.
+//! `--flight <path>` streams a flight-recorder JSONL file during any
+//! experiment; `watch <path>` tails such a file (from another process)
+//! and renders live progress/ETA. See docs/OBSERVABILITY.md.
 
 use gep_bench::experiments::*;
 use gep_bench::{compare, jsonout, trajectory};
@@ -43,6 +51,80 @@ fn append_trajectory(bench_dir: &std::path::Path, source: &str, quick: bool) {
     match trajectory::append(path, entry) {
         Ok(seq) => println!("appended entry {seq} to {}", path.display()),
         Err(e) => eprintln!("trajectory: cannot append to {}: {e}", path.display()),
+    }
+}
+
+/// Formats the `progress.*` gauges of the last sample of a flight log as
+/// one status line, or reports what is still missing.
+fn progress_line(log: &gep_obs::FlightLog) -> (Option<i64>, String) {
+    let Some(idx) = log.samples.len().checked_sub(1) else {
+        return (None, "no samples yet".into());
+    };
+    let seq = log.samples[idx].get("seq").and_then(Json::as_i64);
+    let g = |name: &str| log.gauge(idx, name);
+    let (Some(cursor), Some(total), Some(pct)) = (
+        g("progress.cursor"),
+        g("progress.total_steps"),
+        g("progress.pct"),
+    ) else {
+        return (
+            seq,
+            "sampling, but no progress.* gauges yet (is a checkpointed solve running?)".into(),
+        );
+    };
+    let mut line = format!("{pct:5.1}%  leaf {cursor:.0}/{total:.0}");
+    if let (Some(rate), Some(eta)) = (g("progress.leaves_per_s"), g("progress.eta_s")) {
+        line += &format!(
+            "  {rate:.0} leaves/s  eta {}",
+            gep_bench::util::fmt_secs(eta)
+        );
+    }
+    if let Some(w) = g("progress.io_wait_frac") {
+        line += &format!("  io-wait {:.0}%", w * 100.0);
+    }
+    if let (Some(steps), Some(bytes)) = (
+        g("progress.ckpt_lag_steps"),
+        g("progress.ckpt_lag_wal_bytes"),
+    ) {
+        line += &format!("  ckpt-lag {steps:.0} steps/{bytes:.0} B");
+    }
+    (seq, line)
+}
+
+/// `repro watch <file>`: tails a flight-recorder file written by another
+/// process (`--flight`) and renders live progress. Stops at 100%, on
+/// `--once` after the first read, or on ctrl-C.
+fn watch(path: &std::path::Path, once: bool) {
+    let mut last_seq = None;
+    loop {
+        match gep_obs::read_flight_file(path) {
+            Ok(log) => {
+                let (seq, line) = progress_line(&log);
+                if seq != last_seq || seq.is_none() {
+                    println!(
+                        "[{}{}] {line}",
+                        seq.map_or("-".into(), |s| format!("#{s}")),
+                        if log.torn_tail { ", torn tail" } else { "" },
+                    );
+                    last_seq = seq;
+                }
+                let done = log
+                    .samples
+                    .len()
+                    .checked_sub(1)
+                    .and_then(|i| log.gauge(i, "progress.pct"))
+                    .is_some_and(|p| p >= 100.0);
+                if done {
+                    println!("solve complete");
+                    return;
+                }
+            }
+            Err(e) => println!("waiting: {e}"),
+        }
+        if once {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
     }
 }
 
@@ -118,11 +200,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let what = args
+    // `--flight <path>` takes a value: exclude it from the positionals so
+    // the path is not mistaken for the subcommand.
+    let flight_idx = args.iter().position(|a| a == "--flight");
+    let flight = flight_idx.and_then(|i| args.get(i + 1)).cloned();
+    let positional: Vec<&str> = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != flight_idx.map(|f| f + 1))
+        .map(|(_, a)| a.as_str())
+        .collect();
+    let what = positional.first().copied().unwrap_or("all");
 
     let known = [
         "algebras",
@@ -142,11 +230,13 @@ fn main() {
         "lemma32",
         "layout",
         "misses",
+        "profile",
         "resume",
         "tune",
         "compare",
         "validate",
         "trace",
+        "watch",
         "all",
     ];
     if !known.contains(&what) {
@@ -163,21 +253,47 @@ fn main() {
             }
         }
         // The repo-root trajectory is part of the bench output contract:
-        // schema-check it whenever it exists.
+        // schema-check it whenever it exists. An entry-less trajectory is
+        // a coverage regression — the file only exists because some run
+        // was supposed to append to it.
         let traj = std::path::Path::new(trajectory::TRAJECTORY_FILE);
         if traj.exists() {
             let parsed = std::fs::read_to_string(traj)
                 .map_err(|e| e.to_string())
-                .and_then(|t| Json::parse(&t).map_err(|e| e.to_string()))
-                .and_then(|doc| trajectory::validate(&doc));
-            match parsed {
-                Ok(()) => println!("ok {}", traj.display()),
+                .and_then(|t| Json::parse(&t).map_err(|e| e.to_string()));
+            let entries = match parsed.and_then(|doc| {
+                trajectory::validate(&doc).map(|()| {
+                    doc.get("entries")
+                        .and_then(Json::as_arr)
+                        .map_or(0, <[_]>::len)
+                })
+            }) {
+                Ok(n) => n,
                 Err(e) => {
                     eprintln!("validation failed: {}: {e}", traj.display());
                     std::process::exit(1);
                 }
+            };
+            if entries == 0 {
+                eprintln!(
+                    "validation failed: {}: no entries (coverage regression: \
+                     nothing has appended a snapshot)",
+                    traj.display()
+                );
+                std::process::exit(1);
             }
+            println!("ok {} ({entries} entries)", traj.display());
         }
+        return;
+    }
+
+    if what == "watch" {
+        let Some(path) = positional.get(1) else {
+            eprintln!("usage: repro watch <flight-file> [--once]");
+            std::process::exit(2);
+        };
+        let once = args.iter().any(|a| a == "--once");
+        watch(std::path::Path::new(path), once);
         return;
     }
 
@@ -237,6 +353,39 @@ fn main() {
         }
         return;
     }
+
+    // --flight <path>: stream periodic counter/gauge snapshots to a
+    // crash-durable JSONL file while the experiments run (`repro watch`
+    // tails it from another process). A recorder is installed up front so
+    // `progress.*` gauges publish even for experiments that do not
+    // install one themselves; experiments that install their own simply
+    // replace it and keep being sampled.
+    let _flight_sampler = flight.as_ref().and_then(|path| {
+        gep_obs::install(gep_obs::Recorder::counters_only());
+        match gep_obs::Sampler::start(gep_obs::SamplerConfig::new(path)) {
+            Ok(s) => {
+                println!("flight recorder streaming to {path}");
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("cannot start flight recorder at {path}: {e}");
+                None
+            }
+        }
+    });
+
+    // Experiments below read the recorder with `gep_obs::take()`. With
+    // `--flight` active that would leave no recorder installed, so a fast
+    // run could end with a header-only flight file (no periodic tick
+    // fired, and the sampler's final flush sample finds nothing to
+    // snapshot). Putting the recorder back keeps the last published
+    // progress gauges visible to the flush sample.
+    let flight_active = _flight_sampler.is_some();
+    let reinstall = |rec: gep_obs::Recorder| {
+        if flight_active {
+            gep_obs::install(rec);
+        }
+    };
 
     let run = |name: &str| what == "all" || what == name;
     let emit = |doc: &BenchDoc| {
@@ -308,6 +457,7 @@ fn main() {
             for (k, v) in &rec.counters {
                 d.counter(k, *v);
             }
+            reinstall(rec);
         }
         emit(&d);
     }
@@ -335,6 +485,7 @@ fn main() {
             for (k, v) in &rec.counters {
                 d.counter(k, *v);
             }
+            reinstall(rec);
         }
         emit(&d);
     }
@@ -554,6 +705,83 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if run("profile") {
+        // Fixed base sizes, not the tuned one: quick and full both make 4
+        // halvings, so the depth x kind table is identical across hosts
+        // and modes, and the CI baseline stays deterministic.
+        let (n, base) = if quick { (64, 4) } else { (256, 16) };
+        let p = profile::profile_report(n, base, gep_hwc::availability());
+        // profile_report installs and takes its own span recorder; restore
+        // one so `--flight` sampling keeps running for later experiments.
+        if flight_active {
+            gep_obs::install(gep_obs::Recorder::counters_only());
+        }
+        profile::print_profile(&p);
+        let mut d = BenchDoc::new(
+            "profile",
+            "Depth x shape attribution with exact Section 3 cross-check and roofline",
+            quick,
+        )
+        .host(&gep_bench::util::host_info());
+        for r in &p.rows {
+            // Depth and kind are identity (strings); calls/predicted/flops
+            // are deterministic; times carry the noisy `_s` suffix.
+            d.row(vec![
+                ("depth", Json::Str(r.depth.to_string())),
+                ("kind", Json::Str(r.kind.into())),
+                ("calls", inum(r.calls)),
+                ("predicted", inum(r.predicted)),
+                ("flops", inum(r.flops)),
+                ("total_s", fnum(r.total_ns as f64 / 1e9)),
+                ("self_s", fnum(r.self_ns as f64 / 1e9)),
+            ]);
+        }
+        for s in &p.shapes {
+            let mut fields = vec![
+                ("shape", Json::Str(s.shape.into())),
+                ("leaves", inum(s.leaves)),
+                ("flops", inum(s.flops)),
+                ("seconds", fnum(s.seconds)),
+                ("leaf_gflops", fnum(s.gflops())),
+            ];
+            // Host-dependent and absent without perf access — like the
+            // misses doc, never a fake zero.
+            if let Some(m) = s.llc_misses {
+                fields.push(("hw_llc_misses", inum(m)));
+            }
+            d.row(fields);
+        }
+        for (k, h) in &p.hists {
+            d.histogram(k, h);
+        }
+        d.gauge("roofline.block_transfer_bound", p.bound_block_transfers);
+        d.gauge("geometry.llc_bytes", p.geometry.llc_bytes as f64);
+        d.gauge("geometry.line_bytes", p.geometry.line_bytes as f64);
+        d.counter("cross_check_passed", p.cross_check_ok as u64);
+        d.counter("fallback_kernels", p.fallback_kernels);
+        emit(&d);
+        if json {
+            let dir = jsonout::out_dir();
+            let path = dir.join("profile_flame.folded");
+            let write = std::fs::create_dir_all(&dir)
+                .and_then(|()| std::fs::write(&path, p.flame.as_bytes()));
+            match write {
+                Ok(()) => println!(
+                    "wrote {} ({} stacks; load into any flamegraph viewer)",
+                    path.display(),
+                    p.flame.lines().count()
+                ),
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if !p.cross_check_ok {
+            eprintln!("error: attributed leaf counts diverge from the Section 3 recurrences");
+            std::process::exit(1);
+        }
+    }
     if run("space") {
         let sizes: &[usize] = if quick {
             &[8, 16, 32]
@@ -628,6 +856,11 @@ fn main() {
     }
     if run("resume") {
         gep_extmem::silence_injected_crash_reports();
+        // Recording makes the scenarios publish their extmem/WAL latency
+        // histograms and leaf timings into the document.
+        if json {
+            gep_obs::install(gep_obs::Recorder::counters_only());
+        }
         let rows = resume::resume(quick);
         let mut d = BenchDoc::new(
             "resume",
@@ -655,6 +888,12 @@ fn main() {
                 ("bit_identical", Json::Bool(r.bit_identical)),
             ]);
         }
+        if let Some(rec) = gep_obs::take() {
+            for (k, h) in &rec.hists {
+                d.histogram(k, h);
+            }
+            reinstall(rec);
+        }
         emit(&d);
         if rows.iter().any(|r| !r.bit_identical) {
             eprintln!("error: a recovery scenario diverged from the uninterrupted run");
@@ -673,6 +912,10 @@ fn main() {
             for (k, v) in &rec.counters {
                 d.counter(k, *v);
             }
+            for (k, h) in &rec.hists {
+                d.histogram(k, h);
+            }
+            reinstall(rec);
         }
         emit(&d);
     }

@@ -10,6 +10,7 @@ pub mod fig9;
 pub mod layout;
 pub mod lemma;
 pub mod misses;
+pub mod profile;
 pub mod resume;
 pub mod theory;
 pub mod tune;

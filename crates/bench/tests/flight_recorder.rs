@@ -1,0 +1,102 @@
+//! Kill–resume acceptance test for the flight recorder: the JSONL file
+//! written across an injected crash and the resumed solve replays a
+//! monotone progress curve that ends at `igep_step_count(n)`.
+//!
+//! Sampling is driven explicitly (`sample_now` at deterministic points,
+//! with an effectively-infinite period) so the curve is reproducible in
+//! CI; the periodic path is covered by the `gep-obs` unit tests.
+//!
+//! Lives in an integration test (own process) because it installs the
+//! process-global `gep_obs` recorder.
+
+use gep_apps::FwSpec;
+use gep_bench::workloads::random_dist_matrix;
+use gep_core::igep_step_count;
+use gep_extmem::{
+    fault_clock, run_checkpointed, run_to_crash, CkptConfig, DiskProfile, FaultPlan, MemStore,
+};
+use gep_obs::{read_flight_file, Json, Sampler, SamplerConfig};
+use std::time::Duration;
+
+#[test]
+fn killed_and_resumed_solve_leaves_a_monotone_progress_curve() {
+    gep_extmem::silence_injected_crash_reports();
+    let spec = FwSpec::<i64>::new();
+    let (n, base) = (16usize, 2usize);
+    let input = random_dist_matrix(n, 90210);
+    let cfg = CkptConfig {
+        m_bytes: 2048,
+        b_bytes: 256,
+        base,
+        snapshot_every: 8,
+        profile: DiskProfile::fujitsu_map3735nc(),
+    };
+    let total = igep_step_count(&spec, n, base);
+
+    // Dry run to learn the stable-write count, so the kill lands mid-run.
+    let clock = fault_clock(FaultPlan::default());
+    let mut dry = MemStore::new(Some(clock.clone()));
+    run_checkpointed(&spec, &input, &cfg, &mut dry, Some(clock.clone()));
+    let writes = clock.borrow().writes();
+
+    let path = std::env::temp_dir().join(format!(
+        "gep-flight-killresume-{}.jsonl",
+        std::process::id()
+    ));
+    gep_obs::install(gep_obs::Recorder::counters_only());
+    let sampler = Sampler::start(SamplerConfig {
+        path: path.clone(),
+        period: Duration::from_secs(3600), // explicit samples only
+        ring_capacity: 16,
+    })
+    .expect("start sampler");
+
+    // Kill at 60% of the stable writes; the progress gauges keep the
+    // last state published before the injected crash.
+    let clock = fault_clock(FaultPlan {
+        crash_at_write: Some((writes * 3 / 5).max(1)),
+        torn_write: true,
+        ..Default::default()
+    });
+    let mut store = MemStore::new(Some(clock.clone()));
+    run_to_crash(std::panic::AssertUnwindSafe(|| {
+        run_checkpointed(&spec, &input, &cfg, &mut store, Some(clock.clone()))
+    }))
+    .expect_err("the injected crash point is below the run's write count");
+    assert!(sampler.sample_now(), "post-crash sample");
+
+    // Resume from the durable checkpoint to completion.
+    let (_, stats) = run_checkpointed(&spec, &input, &cfg, &mut store, Some(clock));
+    assert_eq!(stats.total_steps, total);
+    assert!(sampler.sample_now(), "post-resume sample");
+    sampler.stop(); // writes one final flush sample
+    let _ = gep_obs::take();
+
+    let log = read_flight_file(&path).expect("flight file parses");
+    assert!(!log.torn_tail, "every line was completed");
+    assert!(log.samples.len() >= 3, "crash, resume and flush samples");
+    let cursors: Vec<f64> = (0..log.samples.len())
+        .map(|i| log.gauge(i, "progress.cursor").expect("cursor gauge"))
+        .collect();
+    assert!(
+        cursors.windows(2).all(|w| w[0] <= w[1]),
+        "progress curve is monotone: {cursors:?}"
+    );
+    let at_crash = cursors[0];
+    assert!(
+        at_crash > 0.0 && at_crash < total as f64,
+        "the kill landed mid-run (cursor {at_crash} of {total})"
+    );
+    let last = log.samples.len() - 1;
+    assert_eq!(cursors[last], total as f64, "curve ends at igep_step_count");
+    assert_eq!(log.gauge(last, "progress.pct"), Some(100.0));
+    assert_eq!(log.gauge(last, "progress.ckpt_lag_steps"), Some(0.0));
+    assert_eq!(
+        log.samples[last]
+            .get("gauges")
+            .and_then(|g| g.get("progress.total_steps"))
+            .and_then(Json::as_gauge),
+        Some(total as f64)
+    );
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,55 @@
+//! Golden cross-checks for `repro profile` at small sizes.
+//!
+//! Lives in an integration test (own process) because profiling installs
+//! the process-global `gep_obs` recorder; the library unit tests already
+//! install/take it concurrently and would race with this.
+
+use gep_bench::experiments::profile::profile_report;
+use gep_parallel::span::{abcd_level_counts, base_cases_full};
+
+#[test]
+fn profile_matches_section3_recurrences_at_small_sizes() {
+    for (n, base) in [(4usize, 1usize), (8, 2), (16, 2)] {
+        let p = profile_report(n, base, gep_hwc::availability());
+        assert!(
+            p.cross_check_ok,
+            "n={n} base={base}: depth x kind counts must match the §3 recurrences exactly"
+        );
+
+        let predicted = abcd_level_counts(n, base);
+        assert_eq!(
+            p.rows.len(),
+            predicted.len() * 4,
+            "n={n}: one row per depth x kind"
+        );
+        for r in &p.rows {
+            assert_eq!(
+                r.calls, r.predicted,
+                "n={n} depth={} kind={}: observed calls diverge from recurrence",
+                r.depth, r.kind
+            );
+            assert_eq!(r.side, n >> r.depth, "n={n}: side halves per depth");
+        }
+
+        // Leaf depth carries every base case, split by shape.
+        let leaves: u64 = p.shapes.iter().map(|s| s.leaves).sum();
+        assert_eq!(leaves, base_cases_full(n, base), "n={n}: replayed leaves");
+        let leaf_flops: u64 = p.shapes.iter().map(|s| s.flops).sum();
+        assert_eq!(
+            leaf_flops,
+            base_cases_full(n, base) * (base as u64).pow(3) * 2,
+            "n={n}: leaf flops"
+        );
+
+        // The collapsed-stack file conserves time: folded self-times sum
+        // to the same total as the depth x kind attribution.
+        let folded: u64 = p
+            .flame
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        let attributed: u64 = p.rows.iter().map(|r| r.self_ns).sum();
+        assert_eq!(folded, attributed, "n={n}: flame conserves self time");
+        assert!(p.flame.starts_with('A'), "root frame is the outer A call");
+    }
+}

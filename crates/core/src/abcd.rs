@@ -136,6 +136,41 @@ fn record_base_case<S: GepSpec>(spec: &S, xr: usize, xc: usize, kk: usize, s: us
     }
 }
 
+/// Executes one base-case kernel, timing it into the `kernel.leaf_ns`
+/// histogram plus a per-shape one (`kernel.leaf.{a,b,c,d}_ns`) when a
+/// recorder is installed. The disabled path takes no clock readings at
+/// all — just the one relaxed load of [`gep_obs::enabled`].
+///
+/// # Safety
+/// Same contract as [`GepSpec::kernel_shaped`] / [`generic_kernel`].
+#[inline]
+unsafe fn leaf_kernel<S: GepSpec>(
+    spec: &S,
+    m: GepMat<'_, S::Elem>,
+    xr: usize,
+    xc: usize,
+    kk: usize,
+    s: usize,
+    shape: BoxShape,
+) {
+    if !gep_obs::enabled() {
+        spec.kernel_shaped(m, xr, xc, kk, s, shape);
+        return;
+    }
+    record_base_case(spec, xr, xc, kk, s);
+    let start = std::time::Instant::now();
+    spec.kernel_shaped(m, xr, xc, kk, s, shape);
+    let ns = start.elapsed().as_nanos() as u64;
+    gep_obs::hist_record("kernel.leaf_ns", ns);
+    let per_shape = match shape {
+        BoxShape::Diagonal => "kernel.leaf.a_ns",
+        BoxShape::RowPanel => "kernel.leaf.b_ns",
+        BoxShape::ColPanel => "kernel.leaf.c_ns",
+        BoxShape::Disjoint => "kernel.leaf.d_ns",
+    };
+    gep_obs::hist_record(per_shape, ns);
+}
+
 /// `A` — all of `X`, `U`, `V`, `W` coincide (`xr == xc == kk`).
 ///
 /// # Safety
@@ -166,8 +201,7 @@ pub unsafe fn fn_a<S, J>(
         .arg("kk", kk as i64)
         .arg("s", s as i64);
     if s <= base {
-        record_base_case(spec, xr, xc, kk, s);
-        spec.kernel_shaped(m, xr, xc, kk, s, BoxShape::Diagonal);
+        leaf_kernel(spec, m, xr, xc, kk, s, BoxShape::Diagonal);
         return;
     }
     let h = s / 2;
@@ -221,8 +255,7 @@ pub unsafe fn fn_b<S, J>(
         .arg("kk", kk as i64)
         .arg("s", s as i64);
     if s <= base {
-        record_base_case(spec, xr, xc, kk, s);
-        spec.kernel_shaped(m, xr, xc, kk, s, BoxShape::RowPanel);
+        leaf_kernel(spec, m, xr, xc, kk, s, BoxShape::RowPanel);
         return;
     }
     let h = s / 2;
@@ -280,8 +313,7 @@ pub unsafe fn fn_c<S, J>(
         .arg("kk", kk as i64)
         .arg("s", s as i64);
     if s <= base {
-        record_base_case(spec, xr, xc, kk, s);
-        spec.kernel_shaped(m, xr, xc, kk, s, BoxShape::ColPanel);
+        leaf_kernel(spec, m, xr, xc, kk, s, BoxShape::ColPanel);
         return;
     }
     let h = s / 2;
@@ -333,8 +365,7 @@ pub unsafe fn fn_d<S, J>(
         .arg("kk", kk as i64)
         .arg("s", s as i64);
     if s <= base {
-        record_base_case(spec, xr, xc, kk, s);
-        spec.kernel_shaped(m, xr, xc, kk, s, BoxShape::Disjoint);
+        leaf_kernel(spec, m, xr, xc, kk, s, BoxShape::Disjoint);
         return;
     }
     let h = s / 2;
@@ -515,6 +546,29 @@ mod tests {
             }
         }
         walk(Kind::A, 0, 0, 0, 32);
+    }
+
+    /// Every base case lands one sample in `kernel.leaf_ns` and exactly
+    /// one of the per-shape histograms. (The only gep-core test touching
+    /// the process-global recorder, so it cannot race a sibling.)
+    #[test]
+    fn leaf_latency_histograms_cover_every_base_case() {
+        gep_obs::install(gep_obs::Recorder::counters_only());
+        let mut c = random_dist(16, 3);
+        igep_opt(&MinPlus, &mut c, 2);
+        let rec = gep_obs::take().expect("recorder installed above");
+        let base_cases = rec.counter("abcd.base_cases");
+        assert_eq!(base_cases, 512); // 8^3 leaves for n=16, base=2
+        let h = rec.hist("kernel.leaf_ns").expect("leaf histogram present");
+        assert_eq!(h.count(), base_cases);
+        let per_shape: u64 = ["a", "b", "c", "d"]
+            .iter()
+            .map(|s| {
+                rec.hist(&format!("kernel.leaf.{s}_ns"))
+                    .map_or(0, |h| h.count())
+            })
+            .sum();
+        assert_eq!(per_shape, base_cases);
     }
 
     #[test]

@@ -174,6 +174,7 @@ fn f_res<S, St>(
         if walk.cursor <= walk.start {
             return; // already done before the restart point
         }
+        let timing = gep_obs::enabled().then(std::time::Instant::now);
         gep_iterative_box(
             spec,
             c,
@@ -181,6 +182,9 @@ fn f_res<S, St>(
             (j0, j0 + s - 1),
             (k0, k0 + s - 1),
         );
+        if let Some(start) = timing {
+            gep_obs::hist_record("kernel.leaf_ns", start.elapsed().as_nanos() as u64);
+        }
         walk.executed += 1;
         if on_step(walk.cursor) == StepControl::Stop {
             walk.stopped = true;

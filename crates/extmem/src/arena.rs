@@ -117,16 +117,25 @@ impl<T: Copy + Default> ExtArena<T> {
             self.by_age.insert(clock, page);
         } else {
             self.faults += 1;
+            let timing = gep_obs::enabled();
             // Evict if full.
             if self.cache.len() == self.capacity_pages {
                 let (&oldest, &victim) = self.by_age.iter().next().expect("cache full");
                 self.by_age.remove(&oldest);
                 let v = self.cache.remove(&victim).expect("resident");
                 if v.dirty {
+                    let start = timing.then(std::time::Instant::now);
                     self.disk.write_block(victim, &v.data);
+                    if let Some(t) = start {
+                        gep_obs::hist_record("extmem.write_ns", t.elapsed().as_nanos() as u64);
+                    }
                 }
             }
+            let start = timing.then(std::time::Instant::now);
             let data = self.disk.read_block(page);
+            if let Some(t) = start {
+                gep_obs::hist_record("extmem.read_ns", t.elapsed().as_nanos() as u64);
+            }
             self.cache.insert(
                 page,
                 Page {
@@ -167,10 +176,15 @@ impl<T: Copy + Default> ExtArena<T> {
             .collect();
         dirty.sort_unstable();
         let flushed = dirty.len() as u64;
+        let timing = gep_obs::enabled();
         for id in dirty {
             let p = self.cache.get_mut(&id).expect("resident");
             let data = std::mem::replace(&mut p.data, Vec::new().into_boxed_slice());
+            let start = timing.then(std::time::Instant::now);
             self.disk.write_block(id, &data);
+            if let Some(t) = start {
+                gep_obs::hist_record("extmem.write_ns", t.elapsed().as_nanos() as u64);
+            }
             let p = self.cache.get_mut(&id).expect("resident");
             p.data = data;
             p.dirty = false;
@@ -194,7 +208,7 @@ impl<T: Copy + Default> Drop for ExtArena<T> {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     fn arena(pages: u64) -> ExtArena<i64> {

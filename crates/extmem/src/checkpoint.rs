@@ -395,7 +395,14 @@ struct Committer<'s> {
 impl Committer<'_> {
     fn wal_append(&mut self, rec: &WalRecord) {
         let bytes = rec.encode();
+        // The append is this protocol's fsync point: a record is durable
+        // once `append` returns (see CkptStore docs), so its latency is
+        // the WAL-fsync latency.
+        let start = gep_obs::enabled().then(std::time::Instant::now);
         self.store.append(WAL_NAME, &bytes);
+        if let Some(t) = start {
+            gep_obs::hist_record("extmem.wal_fsync_ns", t.elapsed().as_nanos() as u64);
+        }
         self.stats.wal_records += 1;
         self.stats.wal_bytes += bytes.len() as u64;
     }
@@ -428,6 +435,48 @@ impl Committer<'_> {
         arena.borrow_mut().disk_mut().mark_clean();
         self.stats.snapshots_written += 1;
     }
+}
+
+/// Publishes the live `progress.*` gauges for one executed leaf. The
+/// flight-recorder sampler snapshots these from its background thread,
+/// which is what `repro watch` tails for its progress/ETA view.
+///
+/// `io_wait_s` is the *modelled* disk wait, `elapsed_s` the measured host
+/// wall time, so `progress.io_wait_frac` mixes simulated and real clocks —
+/// a deliberate approximation documented in docs/OBSERVABILITY.md.
+fn publish_progress(
+    cursor: u64,
+    total_steps: u64,
+    start_cursor: u64,
+    elapsed_s: f64,
+    io_wait_s: f64,
+    committed_cursor: u64,
+    wal_lag_bytes: u64,
+) {
+    gep_obs::gauge_set("progress.cursor", cursor as f64);
+    gep_obs::gauge_set("progress.total_steps", total_steps as f64);
+    let pct = if total_steps == 0 {
+        100.0
+    } else {
+        100.0 * cursor as f64 / total_steps as f64
+    };
+    gep_obs::gauge_set("progress.pct", pct);
+    let done = cursor.saturating_sub(start_cursor);
+    if elapsed_s > 0.0 && done > 0 {
+        let rate = done as f64 / elapsed_s;
+        gep_obs::gauge_set("progress.leaves_per_s", rate);
+        gep_obs::gauge_set(
+            "progress.eta_s",
+            total_steps.saturating_sub(cursor) as f64 / rate,
+        );
+    }
+    let denom = (io_wait_s + elapsed_s).max(f64::MIN_POSITIVE);
+    gep_obs::gauge_set("progress.io_wait_frac", io_wait_s / denom);
+    gep_obs::gauge_set(
+        "progress.ckpt_lag_steps",
+        cursor.saturating_sub(committed_cursor) as f64,
+    );
+    gep_obs::gauge_set("progress.ckpt_lag_wal_bytes", wal_lag_bytes as f64);
 }
 
 /// Runs (or resumes) an out-of-core I-GEP solve with periodic
@@ -529,15 +578,29 @@ where
         }
     }
     committer.stats.start_cursor = start_cursor;
+    let run_start = std::time::Instant::now();
 
     if start_cursor < total_steps || total_steps == 0 {
         let every = cfg.snapshot_every;
         let outcome = {
             let committer = &mut committer;
             let arena = &arena;
+            let mut wal_bytes_at_commit = committer.stats.wal_bytes;
             igep_resumable(spec, &mut ext, cfg.base, start_cursor, &mut |cursor| {
                 if cursor % every == 0 && cursor < total_steps {
                     committer.snapshot(arena, cursor);
+                    wal_bytes_at_commit = committer.stats.wal_bytes;
+                }
+                if gep_obs::enabled() {
+                    publish_progress(
+                        cursor,
+                        total_steps,
+                        start_cursor,
+                        run_start.elapsed().as_secs_f64(),
+                        arena.borrow().io_stats().wait_s,
+                        committer.manifest.cursor,
+                        committer.stats.wal_bytes - wal_bytes_at_commit,
+                    );
                 }
                 StepControl::Continue
             })
@@ -564,6 +627,18 @@ where
         gep_obs::counter_add("ckpt.recovery.fallbacks", stats.recovery_fallbacks);
         gep_obs::gauge_set("ckpt.store_bytes", stats.store_bytes as f64);
         gep_obs::gauge_set("ckpt.saved_steps", stats.start_cursor as f64);
+        // Final progress state: the sampler's stop() flush after this
+        // point records a finished run (cursor == total, zero lag) even
+        // when the resume found nothing left to execute.
+        publish_progress(
+            total_steps,
+            total_steps,
+            stats.start_cursor,
+            run_start.elapsed().as_secs_f64(),
+            arena.borrow().io_stats().wait_s,
+            total_steps,
+            0,
+        );
     }
     (result, stats)
 }
@@ -677,6 +752,38 @@ mod tests {
         let m = Manifest::decode(&store.read(MANIFEST_NAME).unwrap()).unwrap();
         assert!(m.completed);
         assert_eq!(m.cursor, stats.total_steps);
+    }
+
+    /// The progress gauges and latency histograms a flight recorder would
+    /// sample: final state shows a complete run with zero checkpoint lag,
+    /// and every durability / paging event left a latency sample.
+    #[test]
+    fn run_publishes_progress_gauges_and_latency_histograms() {
+        let _g = crate::arena::tests::obs_test_lock();
+        let _ = gep_obs::take();
+        gep_obs::install(gep_obs::Recorder::counters_only());
+        let n = 16;
+        let input = fw_input(n, 23);
+        let mut store = MemStore::new(None);
+        let (_, stats) =
+            run_checkpointed(&FwSpec::<i64>::new(), &input, &cfg(10), &mut store, None);
+        let rec = gep_obs::take().expect("recorder installed above");
+        assert_eq!(rec.gauge("progress.cursor"), Some(stats.total_steps as f64));
+        assert_eq!(rec.gauge("progress.pct"), Some(100.0));
+        assert_eq!(rec.gauge("progress.ckpt_lag_steps"), Some(0.0));
+        assert_eq!(rec.gauge("progress.ckpt_lag_wal_bytes"), Some(0.0));
+        let frac = rec.gauge("progress.io_wait_frac").expect("io_wait_frac");
+        assert!((0.0..=1.0).contains(&frac), "frac={frac}");
+        let wal = rec.hist("extmem.wal_fsync_ns").expect("wal hist");
+        assert_eq!(wal.count(), stats.wal_records);
+        // The leaf kernels themselves run over the arena-backed CellStore
+        // and record into kernel.leaf_ns via gep-core's resumable walker.
+        let leaf = rec.hist("kernel.leaf_ns").expect("leaf hist");
+        assert_eq!(leaf.count(), stats.executed_steps);
+        // A 2 KiB cache over a 16x16 i64 matrix must page: both fault
+        // paths leave latency samples.
+        assert!(rec.hist("extmem.read_ns").is_some(), "read hist");
+        assert!(rec.hist("extmem.write_ns").is_some(), "write hist");
     }
 
     #[test]

@@ -3,25 +3,32 @@
 //! `repro -- all --json` writes one of these files per reproduced
 //! figure/table so the measured numbers (miss counts, simulated seconds,
 //! update counts) land somewhere machine-readable that future PRs can diff
-//! against. Schema (version 2):
+//! against. Schema (version 3):
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "experiment": "fig8",          // [A-Za-z0-9_.-]+, used in the filename
 //!   "title": "Figure 8: ...",
 //!   "quick": true,                 // was --quick passed?
 //!   "host": "optional free text",
 //!   "rows": [ { "n": 128, "gep_s": 0.01, ... }, ... ],
 //!   "counters": { "io.gep.seeks": 123, ... },  // optional, integers
-//!   "gauges": { "fit.c": 1.82, ... }           // optional, v2+: floats
+//!   "gauges": { "fit.c": 1.82, ... },          // optional, v2+: floats
+//!   "histograms": {                            // optional, v3+
+//!     "kernel.leaf_ns": { "count": 512, "max": 90321, "p50": 1024,
+//!                         "p90": 4096, "p99": 8192,
+//!                         "buckets": [[1024, 300], [2048, 180], ...] }
+//!   }
 //! }
 //! ```
 //!
 //! Version history: v1 had no `gauges`; v2 adds the optional `gauges`
 //! object whose values are floats written via [`Json::from_f64`], so
 //! `NaN`/`±Infinity` land as the deterministic sentinel strings rather
-//! than `null`. [`validate`] accepts both versions.
+//! than `null`; v3 adds the optional `histograms` object serializing
+//! [`crate::hist::Histogram`] (log-bucketed latency distributions).
+//! [`validate`] accepts all three versions.
 //!
 //! Rows are flat objects of scalars; each experiment chooses its own
 //! columns. [`validate`] enforces the envelope (not the per-experiment
@@ -33,7 +40,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Current schema version, written to every new file.
-pub const SCHEMA_VERSION: i64 = 2;
+pub const SCHEMA_VERSION: i64 = 3;
 
 /// Oldest schema version [`validate`] still accepts (pre-`gauges` files).
 pub const MIN_SCHEMA_VERSION: i64 = 1;
@@ -48,6 +55,7 @@ pub struct BenchDoc {
     rows: Vec<Json>,
     counters: Vec<(String, Json)>,
     gauges: Vec<(String, Json)>,
+    histograms: Vec<(String, Json)>,
 }
 
 impl BenchDoc {
@@ -66,6 +74,7 @@ impl BenchDoc {
             rows: Vec::new(),
             counters: Vec::new(),
             gauges: Vec::new(),
+            histograms: Vec::new(),
         }
     }
 
@@ -91,6 +100,12 @@ impl BenchDoc {
     /// see [`Json::from_f64`].
     pub fn gauge(&mut self, name: &str, value: f64) {
         self.gauges.push((name.to_string(), Json::from_f64(value)));
+    }
+
+    /// Attaches a recorder histogram (schema v3): summary quantiles plus
+    /// the sparse bucket list — see [`crate::hist::Histogram::to_json`].
+    pub fn histogram(&mut self, name: &str, h: &crate::hist::Histogram) {
+        self.histograms.push((name.to_string(), h.to_json()));
     }
 
     /// Number of rows so far.
@@ -120,6 +135,9 @@ impl BenchDoc {
         }
         if !self.gauges.is_empty() {
             fields.push(("gauges", Json::Obj(self.gauges.clone())));
+        }
+        if !self.histograms.is_empty() {
+            fields.push(("histograms", Json::Obj(self.histograms.clone())));
         }
         Json::obj(fields)
     }
@@ -251,6 +269,40 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    if let Some(hists) = doc.get("histograms") {
+        let Json::Obj(fields) = hists else {
+            return Err("histograms must be an object".into());
+        };
+        for (key, value) in fields {
+            validate_histogram(value).map_err(|e| format!("histograms.{key}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Envelope check for one serialized histogram (schema v3): the five
+/// summary scalars are required; the sparse bucket list, if present, is
+/// an array of `[lower_bound, count]` pairs.
+fn validate_histogram(h: &Json) -> Result<(), String> {
+    if !h.is_obj() {
+        return Err("not an object".into());
+    }
+    for field in ["count", "max", "p50", "p90", "p99"] {
+        if h.get(field).and_then(Json::as_f64).is_none() {
+            return Err(format!("missing numeric {field}"));
+        }
+    }
+    if let Some(buckets) = h.get("buckets") {
+        let arr = buckets.as_arr().ok_or("buckets must be an array")?;
+        for (idx, pair) in arr.iter().enumerate() {
+            let ok = pair
+                .as_arr()
+                .is_some_and(|p| p.len() == 2 && p.iter().all(|v| v.as_f64().is_some()));
+            if !ok {
+                return Err(format!("buckets[{idx}] must be a [lo, count] pair"));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -359,6 +411,95 @@ mod tests {
         for (label, doc) in cases {
             assert!(validate(&doc).is_err(), "{label} should be rejected");
         }
+    }
+
+    #[test]
+    fn v3_histograms_roundtrip_and_bad_ones_are_rejected() {
+        let mut h = crate::hist::Histogram::new();
+        for v in [100u64, 200, 300, 50_000] {
+            h.record(v);
+        }
+        let mut d = BenchDoc::new("profile", "per-shape latency attribution", true);
+        d.row(vec![("n", Json::Int(64))]);
+        d.histogram("kernel.leaf_ns", &h);
+        let doc = d.to_json();
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_i64),
+            Some(SCHEMA_VERSION)
+        );
+        validate(&doc).expect("histogram document validates");
+        let back = Json::parse(&render(&doc)).expect("reparses");
+        validate(&back).unwrap();
+        let hist = back
+            .get("histograms")
+            .unwrap()
+            .get("kernel.leaf_ns")
+            .unwrap();
+        assert_eq!(hist.get("count").and_then(Json::as_i64), Some(4));
+        assert_eq!(hist.get("max").and_then(Json::as_i64), Some(50_000));
+        // Envelope violations are rejected with the field named.
+        let base = vec![
+            ("schema_version", Json::Int(3)),
+            ("experiment", Json::Str("x".into())),
+            ("title", Json::Str("t".into())),
+            ("quick", Json::Bool(false)),
+            ("rows", Json::Arr(vec![])),
+        ];
+        let with_hists = |h: Json| {
+            let mut fields = base.clone();
+            fields.push(("histograms", h));
+            Json::obj(fields)
+        };
+        for (label, bad) in [
+            ("histograms not an object", with_hists(Json::Arr(vec![]))),
+            (
+                "histogram missing p99",
+                with_hists(Json::obj(vec![(
+                    "h",
+                    Json::obj(vec![
+                        ("count", Json::Int(1)),
+                        ("max", Json::Int(1)),
+                        ("p50", Json::Int(1)),
+                        ("p90", Json::Int(1)),
+                    ]),
+                )])),
+            ),
+            (
+                "bucket not a pair",
+                with_hists(Json::obj(vec![(
+                    "h",
+                    Json::obj(vec![
+                        ("count", Json::Int(1)),
+                        ("max", Json::Int(1)),
+                        ("p50", Json::Int(1)),
+                        ("p90", Json::Int(1)),
+                        ("p99", Json::Int(1)),
+                        ("buckets", Json::Arr(vec![Json::Int(7)])),
+                    ]),
+                )])),
+            ),
+        ] {
+            assert!(validate(&bad).is_err(), "{label} should be rejected");
+        }
+    }
+
+    #[test]
+    fn v2_documents_still_validate() {
+        // Files emitted at schema_version 2 (gauges, no histograms) must
+        // keep passing `repro validate` so committed baselines and the
+        // trajectory history stay comparable after the v3 bump.
+        let v2 = Json::obj(vec![
+            ("schema_version", Json::Int(2)),
+            ("experiment", Json::Str("misses".into())),
+            ("title", Json::Str("t".into())),
+            ("quick", Json::Bool(true)),
+            (
+                "rows",
+                Json::Arr(vec![Json::obj(vec![("n", Json::Int(64))])]),
+            ),
+            ("gauges", Json::obj(vec![("fit.c", Json::Float(1.5))])),
+        ]);
+        validate(&v2).expect("v2 envelope must stay valid");
     }
 
     #[test]

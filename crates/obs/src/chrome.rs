@@ -21,9 +21,14 @@ fn us(ns: u64) -> Json {
 
 /// Exports a recording as a Chrome trace-event document. Counters and
 /// gauges ride along under `"counters"` / `"gauges"` (extra top-level keys
-/// are allowed by the format and ignored by viewers).
+/// are allowed by the format and ignored by viewers). Hardware-counter
+/// families (`hwc.*`) are additionally emitted as `ph: "C"` counter
+/// events, so Perfetto draws LLC-miss / instruction timelines alongside
+/// the recursion spans: one zero sample at the epoch and the final total
+/// at the last span's end (the recorder accumulates totals, not a time
+/// series — the flight-recorder JSONL holds the over-time view).
 pub fn chrome_trace(rec: &Recorder) -> Json {
-    let events: Vec<Json> = rec
+    let mut events: Vec<Json> = rec
         .spans
         .iter()
         .map(|s| {
@@ -48,6 +53,30 @@ pub fn chrome_trace(rec: &Recorder) -> Json {
             ])
         })
         .collect();
+    let end_ns = rec
+        .spans
+        .iter()
+        .map(|s| s.start_ns + s.dur_ns)
+        .max()
+        .unwrap_or(0);
+    let counter_event = |name: &str, ts_ns: u64, value: f64| {
+        Json::obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("cat", Json::Str("hwc".to_string())),
+            ("ph", Json::Str("C".to_string())),
+            ("ts", us(ts_ns)),
+            ("pid", Json::Int(1)),
+            ("tid", Json::Int(0)),
+            ("args", Json::obj(vec![("value", Json::from_f64(value))])),
+        ])
+    };
+    for (name, value) in rec.counters.iter().filter(|(n, _)| n.starts_with("hwc.")) {
+        events.push(counter_event(name, 0, 0.0));
+        events.push(counter_event(name, end_ns, *value as f64));
+    }
+    for (name, value) in rec.gauges.iter().filter(|(n, _)| n.starts_with("hwc.")) {
+        events.push(counter_event(name, end_ns, *value));
+    }
     let counters = Json::Obj(
         rec.counters
             .iter()
@@ -193,5 +222,55 @@ mod tests {
         let ev = &doc.get("traceEvents").unwrap().as_arr().unwrap()[1];
         assert_eq!(ev.get("name").unwrap().as_str(), Some("A"));
         assert_eq!(ev.get("args").unwrap().get("s").unwrap().as_i64(), Some(4));
+    }
+
+    #[test]
+    fn hwc_metrics_become_counter_events() {
+        let _g = crate::recorder::test_lock();
+        crate::recorder::install(crate::Recorder::new());
+        {
+            let _a = crate::span("A", "abcd");
+        }
+        crate::recorder::counter_add("hwc.ge.llc_misses", 1_000);
+        crate::recorder::counter_add("abcd.a.calls", 7); // not hwc: no event
+        crate::recorder::gauge_set("hwc.ge.ipc", 1.5);
+        let rec = crate::recorder::take().unwrap();
+        let doc = chrome_trace(&rec);
+        // ph:"C" events don't disturb the nesting check (it only looks
+        // at ph:"X").
+        assert_eq!(check_well_nested(&doc), Ok(1));
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let c_events: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        // Counter: ramp from 0 at the epoch to the total at the last
+        // span's end. Gauge: one sample at the end.
+        assert_eq!(c_events.len(), 3, "{doc}");
+        let names: Vec<&str> = c_events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert_eq!(
+            names,
+            ["hwc.ge.llc_misses", "hwc.ge.llc_misses", "hwc.ge.ipc"]
+        );
+        let values: Vec<f64> = c_events
+            .iter()
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_f64)
+            })
+            .collect();
+        assert_eq!(values, [0.0, 1000.0, 1.5]);
+        assert_eq!(c_events[0].get("ts").and_then(Json::as_f64), Some(0.0));
+        // ts + dur re-associates the ns -> us division, so allow float
+        // round-off (the span's timing varies per run).
+        let end = events[0].get("ts").unwrap().as_f64().unwrap()
+            + events[0].get("dur").unwrap().as_f64().unwrap();
+        let ramp_ts = c_events[1].get("ts").and_then(Json::as_f64).unwrap();
+        assert!((ramp_ts - end).abs() < 1e-6, "{ramp_ts} vs {end}");
+        assert!(!names.contains(&"abcd.a.calls"));
     }
 }

@@ -1,0 +1,327 @@
+//! Log-bucketed latency histograms — the third first-class metric kind
+//! next to counters and gauges.
+//!
+//! A [`Histogram`] keeps one `u64` count per power-of-two bucket: bucket
+//! 0 holds the value 0, bucket `k >= 1` holds values in
+//! `[2^(k-1), 2^k)`. Sixty-five buckets therefore cover the whole `u64`
+//! range in a fixed 520-byte footprint, recording is one shift plus two
+//! increments, and merging two histograms (rayon workers, resumed runs)
+//! is component-wise addition — commutative and associative, so the
+//! merged result is independent of thread completion order.
+//!
+//! Quantiles come back as the *lower bound* of the bucket the
+//! rank-selected sample fell into, i.e. always within one log-bucket
+//! (a factor of 2) of the exact order statistic. That resolution is the
+//! deliberate trade for mergeability and O(1) memory; the serving-gate
+//! checks in ROADMAP item 1 only need "p99 under X ms" style bounds,
+//! which survive a 2x bucket floor.
+
+use crate::json::Json;
+
+/// Bucket count: the zero bucket plus one per possible bit length.
+pub const BUCKETS: usize = 65;
+
+/// A mergeable power-of-two-bucketed histogram of `u64` samples
+/// (typically latencies in nanoseconds).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The bucket a value falls into: 0 for 0, else its bit length.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `idx` (the quantile representative).
+#[inline]
+pub fn bucket_lo(idx: usize) -> u64 {
+    match idx {
+        0 => 0,
+        k => 1u64 << (k - 1),
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every sample of `other` into `self`. Component-wise, so any
+    /// merge order over any partition of the samples yields the same
+    /// result.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum over all recorded samples (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean of the recorded samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the lower bound of the bucket
+    /// holding the nearest-rank order statistic — within one log-bucket
+    /// of the exact value. `None` if the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_lo(idx));
+            }
+        }
+        unreachable!("counts sum to self.count");
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty buckets as `(lower bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| (bucket_lo(idx), c))
+            .collect()
+    }
+
+    /// The bench-JSON (schema v3) serialization: summary quantiles plus
+    /// the sparse bucket list, so a reader can re-derive any quantile.
+    pub fn to_json(&self) -> Json {
+        let q = |v: Option<u64>| Json::Int(v.unwrap_or(0) as i64);
+        Json::obj(vec![
+            ("count", Json::Int(self.count as i64)),
+            ("max", Json::Int(self.max as i64)),
+            ("p50", q(self.p50())),
+            ("p90", q(self.p90())),
+            ("p99", q(self.p99())),
+            (
+                "buckets",
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(lo, c)| Json::Arr(vec![Json::Int(lo as i64), Json::Int(c as i64)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift stream for the property tests.
+    fn xorshift_stream(mut s: u64, len: usize, modulus: u64) -> Vec<u64> {
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s % modulus
+            })
+            .collect()
+    }
+
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for idx in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_lo(idx)), idx, "lo is in its bucket");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 3, 100, 7_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 7_000);
+        assert_eq!(h.sum(), 7_107);
+        assert_eq!(h.mean(), Some(7_107.0 / 6.0));
+    }
+
+    /// Property (satellite): p50/p90/p99 land within one log-bucket of
+    /// the exact nearest-rank quantiles, across several random
+    /// distributions and scales.
+    #[test]
+    fn quantiles_within_one_log_bucket_of_exact() {
+        for (seed, modulus) in [
+            (42u64, 1_000u64),
+            (7, 50),
+            (99, 10_000_000),
+            (12345, u64::MAX / 2),
+            (3, 2), // heavily tied samples (0/1 only)
+        ] {
+            let samples = xorshift_stream(seed, 2_000, modulus);
+            let mut h = Histogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for q in [0.5, 0.9, 0.99] {
+                let exact = exact_quantile(&sorted, q);
+                let got = h.quantile(q).unwrap();
+                let (bg, be) = (bucket_index(got), bucket_index(exact));
+                assert!(
+                    bg.abs_diff(be) <= 1,
+                    "seed={seed} mod={modulus} q={q}: got {got} (bucket {bg}) \
+                     vs exact {exact} (bucket {be})"
+                );
+            }
+        }
+    }
+
+    /// Property (satellite): merging per-thread shards is independent of
+    /// merge order — any permutation and any tree shape gives the result
+    /// of recording everything into one histogram.
+    #[test]
+    fn merge_is_order_independent() {
+        let samples = xorshift_stream(2024, 4_096, 1 << 40);
+        let mut whole = Histogram::new();
+        for &v in &samples {
+            whole.record(v);
+        }
+        // Shard as 8 "threads" round-robin.
+        let mut shards = vec![Histogram::new(); 8];
+        for (i, &v) in samples.iter().enumerate() {
+            shards[i % 8].record(v);
+        }
+        // Forward fold, reverse fold, and a pairwise tree.
+        let fold = |order: &[usize]| {
+            let mut acc = Histogram::new();
+            for &i in order {
+                acc.merge(&shards[i]);
+            }
+            acc
+        };
+        let fwd = fold(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let rev = fold(&[7, 6, 5, 4, 3, 2, 1, 0]);
+        let shuffled = fold(&[3, 0, 6, 1, 7, 2, 5, 4]);
+        let mut tree: Vec<Histogram> = shards.clone();
+        while tree.len() > 1 {
+            let mut next = Vec::new();
+            for pair in tree.chunks(2) {
+                let mut m = pair[0].clone();
+                if let Some(b) = pair.get(1) {
+                    m.merge(b);
+                }
+                next.push(m);
+            }
+            tree = next;
+        }
+        for (label, merged) in [
+            ("fwd", &fwd),
+            ("rev", &rev),
+            ("shuffled", &shuffled),
+            ("tree", &tree[0]),
+        ] {
+            assert_eq!(merged, &whole, "{label} merge differs");
+        }
+    }
+
+    #[test]
+    fn json_serialization_carries_quantiles_and_buckets() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 2, 3, 900] {
+            h.record(v);
+        }
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_i64), Some(5));
+        assert_eq!(j.get("max").and_then(Json::as_i64), Some(900));
+        assert_eq!(j.get("p50").and_then(Json::as_i64), Some(2));
+        let buckets = j.get("buckets").and_then(Json::as_arr).unwrap();
+        // Buckets: 1 -> [1], {2,2,3} -> [2,4), 900 -> [512,1024).
+        assert_eq!(buckets.len(), 3);
+        let total: i64 = buckets
+            .iter()
+            .map(|b| b.as_arr().unwrap()[1].as_i64().unwrap())
+            .sum();
+        assert_eq!(total, 5);
+    }
+}

@@ -6,10 +6,16 @@
 //! and this crate is how the engines report them:
 //!
 //! * [`recorder`] — a process-global [`Recorder`] of **counters** (monotonic
-//!   `u64` sums), **gauges** (last-write-wins `f64` values) and hierarchical
+//!   `u64` sums), **gauges** (last-write-wins `f64` values), **histograms**
+//!   (log-bucketed sample distributions, [`hist`]) and hierarchical
 //!   **spans** (timed intervals forming the A/B/C/D call tree). When no
 //!   recorder is installed every hook is a single relaxed atomic load, so
 //!   the hot recursive engines pay nothing in the default configuration.
+//! * [`hist`] — the mergeable power-of-two-bucketed [`Histogram`] behind
+//!   the p50/p90/p99/max latency metrics (kernel leaves, extmem I/O).
+//! * [`sampler`] — the flight recorder: a background [`Sampler`] that
+//!   streams periodic counter/gauge snapshots to a crash-durable JSONL
+//!   file, tailed live by `repro watch`.
 //! * [`json`] — a small self-contained JSON value type, writer and parser
 //!   (the workspace deliberately has no serde_json dependency).
 //! * [`chrome`] — exports recorded spans as Chrome trace-event JSON,
@@ -37,15 +43,19 @@
 
 pub mod bench;
 pub mod chrome;
+pub mod hist;
 pub mod json;
 pub mod recorder;
+pub mod sampler;
 pub mod summary;
 
 pub use bench::BenchDoc;
 pub use chrome::{check_well_nested, chrome_trace, chrome_trace_string};
+pub use hist::Histogram;
 pub use json::Json;
 pub use recorder::{
-    counter_add, enabled, gauge_set, install, span, spans_enabled, take, Recorder, SpanGuard,
-    SpanRecord,
+    counter_add, enabled, gauge_set, hist_record, install, span, spans_enabled, take, Recorder,
+    SpanGuard, SpanRecord,
 };
+pub use sampler::{read_flight_file, FlightLog, Sample, Sampler, SamplerConfig};
 pub use summary::summary;

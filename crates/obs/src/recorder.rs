@@ -16,6 +16,7 @@
 //! one span per recursive call), so span recording can be switched off
 //! independently of counters via [`Recorder::counters_only`].
 
+use crate::hist::Histogram;
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,6 +53,9 @@ pub struct Recorder {
     pub counters: BTreeMap<String, u64>,
     /// Last-write-wins values (`"parallel.pool_threads"`).
     pub gauges: BTreeMap<String, f64>,
+    /// Log-bucketed sample distributions (`"kernel.leaf_ns"`), merged
+    /// across recording threads by the sink mutex.
+    pub hists: BTreeMap<String, Histogram>,
     /// Completed spans, in completion order.
     pub spans: Vec<SpanRecord>,
 }
@@ -64,6 +68,7 @@ impl Recorder {
             record_spans: true,
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
             spans: Vec::new(),
         }
     }
@@ -86,6 +91,11 @@ impl Recorder {
     /// Value of a gauge, if it was ever set.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any sample was ever recorded into it.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
     }
 }
 
@@ -159,6 +169,30 @@ pub fn gauge_set(name: &str, value: f64) {
     }
     if let Some(r) = sink().as_mut() {
         r.gauges.insert(name.to_string(), value);
+    }
+}
+
+/// One snapshot of the installed recorder's counters and gauges for the
+/// flight-recorder sampler, or `None` when no recorder is installed. The
+/// clone happens under the sink mutex; serialization and file I/O stay
+/// outside it.
+pub(crate) fn snapshot_for_sampler() -> Option<(BTreeMap<String, u64>, BTreeMap<String, f64>)> {
+    if !enabled() {
+        return None;
+    }
+    sink()
+        .as_ref()
+        .map(|r| (r.counters.clone(), r.gauges.clone()))
+}
+
+/// Records one sample into the named histogram. No-op when disabled
+/// (one relaxed atomic load, like [`counter_add`]).
+pub fn hist_record(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(r) = sink().as_mut() {
+        r.hists.entry(name.to_string()).or_default().record(value);
     }
 }
 
@@ -251,9 +285,30 @@ mod tests {
         assert!(!enabled());
         counter_add("x", 5);
         gauge_set("g", 1.5);
+        hist_record("h", 9);
         let _s = span("a", "b").arg("k", 1);
         drop(_s);
         assert!(take().is_none());
+    }
+
+    #[test]
+    fn concurrent_hist_records_merge_to_one_distribution() {
+        let _g = lock();
+        install(Recorder::counters_only());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        hist_record("lat", t * 500 + i);
+                    }
+                });
+            }
+        });
+        let r = take().unwrap();
+        let h = r.hist("lat").expect("histogram recorded");
+        assert_eq!(h.count(), 2000);
+        assert_eq!(h.max(), 1999);
+        assert!(r.hist("missing").is_none());
     }
 
     #[test]

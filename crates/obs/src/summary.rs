@@ -51,6 +51,22 @@ pub fn summary(rec: &Recorder) -> String {
             let _ = writeln!(out, "  {name:<width$}  {value}");
         }
     }
+    if !rec.hists.is_empty() {
+        out.push_str("histograms (count, p50/p90/p99/max ns):\n");
+        let width = rec.hists.keys().map(String::len).max().unwrap_or(0);
+        for (name, h) in &rec.hists {
+            let q = |v: Option<u64>| v.unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  {} x, p50={} p90={} p99={} max={}",
+                h.count(),
+                q(h.p50()),
+                q(h.p90()),
+                q(h.p99()),
+                h.max()
+            );
+        }
+    }
     if !rec.spans.is_empty() {
         // (cat, name) -> (count, total_ns, max_depth)
         let mut agg: BTreeMap<(&str, &str), (u64, u64, usize)> = BTreeMap::new();
@@ -139,6 +155,21 @@ mod tests {
             .find(|l| l.contains("hwc.unavailable"))
             .expect("unavailable row");
         assert!(!unavailable_line.contains('M'), "{unavailable_line}");
+    }
+
+    #[test]
+    fn histograms_get_their_own_section() {
+        let _g = crate::recorder::test_lock();
+        install(Recorder::counters_only());
+        for v in [100u64, 1000, 10_000] {
+            crate::recorder::hist_record("kernel.leaf_ns", v);
+        }
+        let rec = take().unwrap();
+        let text = summary(&rec);
+        assert!(text.contains("histograms (count, p50/p90/p99/max ns):"));
+        assert!(text.contains("kernel.leaf_ns"));
+        assert!(text.contains("3 x"), "{text}");
+        assert!(text.contains("max=10000"), "{text}");
     }
 
     #[test]

@@ -199,6 +199,44 @@ pub fn abcd_counts_full(n: usize, base: usize) -> AbcdCounts {
     a
 }
 
+/// Per-depth invocation counts for full Σ: entry `k` holds how many
+/// calls of each kind run at recursion depth `k`, i.e. at side
+/// `n / 2^k`, from one `A` at the root (depth 0) down to the base-case
+/// kernels (the last entry, whose total is [`base_cases_full`]).
+///
+/// Walking the Figure 5/6 child tables *downwards*, a population
+/// `(a, b, c, d)` at one level produces at the next:
+///
+/// ```text
+/// a' = 2a        b' = 2a + 4b        c' = 2a + 4c
+/// d' = 2a + 4b + 4c + 8d
+/// ```
+///
+/// Summing the levels recovers [`abcd_counts_full`] exactly — the
+/// per-depth refinement of the same recurrences, which `repro profile`
+/// cross-checks against the depths observed in recorded spans.
+///
+/// # Panics
+/// Panics unless `n` is a power of two and `base >= 1`.
+pub fn abcd_level_counts(n: usize, base: usize) -> Vec<AbcdCounts> {
+    let mut levels = vec![AbcdCounts {
+        a: 1,
+        b: 0,
+        c: 0,
+        d: 0,
+    }];
+    for _ in 0..doublings(n, base) {
+        let p = *levels.last().expect("non-empty");
+        levels.push(AbcdCounts {
+            a: 2 * p.a,
+            b: 2 * p.a + 4 * p.b,
+            c: 2 * p.a + 4 * p.c,
+            d: 2 * p.a + 4 * p.b + 4 * p.c + 8 * p.d,
+        });
+    }
+    levels
+}
+
 /// Number of (non-pruned) recursive calls I-GEP's `F` makes on full Σ:
 /// `t(s) = 1` for `s <= base`, else `t(s) = 1 + 8·t(s/2)`.
 ///
@@ -366,6 +404,56 @@ mod tests {
                 d: 38
             }
         );
+    }
+
+    #[test]
+    fn level_counts_hand_computed_and_consistent() {
+        // n=4, base=1 by hand: depth 0 = the root A; depth 1 doubles the
+        // population into every kind; depth 2 holds the 8² leaves.
+        let lv = abcd_level_counts(4, 1);
+        assert_eq!(
+            lv,
+            vec![
+                AbcdCounts {
+                    a: 1,
+                    b: 0,
+                    c: 0,
+                    d: 0
+                },
+                AbcdCounts {
+                    a: 2,
+                    b: 2,
+                    c: 2,
+                    d: 2
+                },
+                AbcdCounts {
+                    a: 4,
+                    b: 12,
+                    c: 12,
+                    d: 36
+                },
+            ]
+        );
+        // The per-depth refinement re-sums to the subtree recurrences and
+        // bottoms out in exactly the base-case population, at any scale.
+        for (n, base) in [(1, 1), (4, 1), (8, 2), (16, 1), (64, 16), (1024, 64)] {
+            let lv = abcd_level_counts(n, base);
+            let sum = lv.iter().fold(
+                AbcdCounts {
+                    a: 0,
+                    b: 0,
+                    c: 0,
+                    d: 0,
+                },
+                |x, &y| combine(x, y, 1),
+            );
+            assert_eq!(sum, abcd_counts_full(n, base), "n={n} base={base}");
+            assert_eq!(
+                lv.last().unwrap().total(),
+                base_cases_full(n, base),
+                "n={n} base={base}"
+            );
+        }
     }
 
     #[test]
