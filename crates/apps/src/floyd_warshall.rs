@@ -9,7 +9,10 @@
 //! [`SemiringSpec`] instantiated at the tropical algebra of the weight
 //! type ([`MinPlusI64`] / [`MinPlusF64`]); [`FwSpec`] survives as a type
 //! alias so call sites read as before. [`FwPathSpec`] additionally
-//! carries a successor matrix for path reconstruction.
+//! carries a successor matrix for path reconstruction (forward walk from
+//! the source); [`FwPredSpec`] carries a predecessor matrix (backward
+//! walk from the destination — the representation `gep-serve` caches,
+//! since a point query then touches a single row).
 //!
 //! Historical note: `i64` weight addition used to be plain `+`, which
 //! both wrapped on large finite weights and let `INFINITY + negative`
@@ -74,6 +77,24 @@ pub struct FwPathSpec;
 /// Sentinel "no successor".
 pub const NO_NEXT: u32 = u32::MAX;
 
+/// Distance + *predecessor* spec for path reconstruction.
+///
+/// Element `(d, p)`: `d` is the current shortest distance from `i` to
+/// `j`, `p` the vertex immediately *before* `j` on that path
+/// ([`NO_PRED`] = none/self). When the relaxation through `k` strictly
+/// improves `d[i][j]`, the predecessor of `(i, j)` becomes the
+/// predecessor of `(k, j)` — the last hop of the `k → j` suffix.
+///
+/// The dual of [`FwPathSpec`]: a successor matrix reconstructs paths
+/// walking forward from the source, a predecessor matrix walking
+/// backward from the destination. `gep-serve` caches this spec because a
+/// `path u v` query then touches only row `u`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FwPredSpec;
+
+/// Sentinel "no predecessor".
+pub const NO_PRED: u32 = u32::MAX;
+
 impl gep_core::GepSpec for FwPathSpec {
     type Elem = (i64, u32);
 
@@ -91,6 +112,39 @@ impl gep_core::GepSpec for FwPathSpec {
         let cand = u.0.wadd(v.0);
         if cand < x.0 {
             (cand, u.1)
+        } else {
+            x
+        }
+    }
+
+    #[inline(always)]
+    fn in_sigma(&self, _i: usize, _j: usize, _k: usize) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn tau(&self, n: usize, _i: usize, _j: usize, l: i64) -> Option<usize> {
+        (l >= 0 && n > 0).then(|| (l as usize).min(n - 1))
+    }
+}
+
+impl gep_core::GepSpec for FwPredSpec {
+    type Elem = (i64, u32);
+
+    #[inline(always)]
+    fn update(
+        &self,
+        _i: usize,
+        _j: usize,
+        _k: usize,
+        x: (i64, u32),
+        u: (i64, u32),
+        v: (i64, u32),
+        _w: (i64, u32),
+    ) -> (i64, u32) {
+        let cand = u.0.wadd(v.0);
+        if cand < x.0 {
+            (cand, v.1)
         } else {
             x
         }
@@ -137,6 +191,50 @@ pub fn path_matrix(n: usize, edges: &[(usize, usize, i64)]) -> Matrix<(i64, u32)
         }
     }
     m
+}
+
+/// Builds the initial `(dist, pred)` matrix for [`FwPredSpec`].
+pub fn pred_matrix(n: usize, edges: &[(usize, usize, i64)]) -> Matrix<(i64, u32)> {
+    let mut m = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            (0i64, NO_PRED)
+        } else {
+            (<i64 as Weight>::INFINITY, NO_PRED)
+        }
+    });
+    for &(a, b, w) in edges {
+        if a != b && w < m[(a, b)].0 {
+            m[(a, b)] = (w, a as u32);
+        }
+    }
+    m
+}
+
+/// Extracts the vertex sequence of a shortest `src → dst` path from a
+/// solved [`FwPredSpec`] matrix, or `None` if unreachable. Walks
+/// backward from `dst` along predecessors, touching only row `src`.
+pub fn extract_path_pred(
+    solved: &Matrix<(i64, u32)>,
+    src: usize,
+    dst: usize,
+) -> Option<Vec<usize>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    if solved[(src, dst)].0 >= <i64 as Weight>::INFINITY {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        let pred = solved[(src, cur)].1;
+        debug_assert_ne!(pred, NO_PRED, "finite distance but missing predecessor");
+        cur = pred as usize;
+        path.push(cur);
+        assert!(path.len() <= solved.n(), "cycle in predecessor matrix");
+    }
+    path.reverse();
+    Some(path)
 }
 
 /// Extracts the vertex sequence of a shortest `src → dst` path from a
@@ -369,6 +467,172 @@ mod tests {
         let mut m = path_matrix(2, &[]);
         gep_core::igep_opt(&FwPathSpec, &mut m, 1);
         assert_eq!(extract_path(&m, 0, 1), None);
+    }
+
+    /// Converts a distance matrix into the [`FwPredSpec`] initial state.
+    fn pred_init(d: &Matrix<i64>) -> Matrix<(i64, u32)> {
+        let n = d.n();
+        Matrix::from_fn(n, n, |i, j| {
+            let w = d[(i, j)];
+            if i != j && w < <i64 as Weight>::INFINITY {
+                (w, i as u32)
+            } else if i == j {
+                (0, NO_PRED)
+            } else {
+                (w, NO_PRED)
+            }
+        })
+    }
+
+    /// Differential: pred-spec distances match the independent Dijkstra
+    /// oracle from every source, and every reconstructed path walks real
+    /// edges of the input with total weight equal to that distance.
+    #[test]
+    fn pred_spec_differential_vs_dijkstra_oracle() {
+        for (n, seed) in [(4usize, 0xBEEFu64), (8, 0xB0A7), (16, 0x1CEB), (32, 0x5EED)] {
+            let init_d = random_graph(n, seed);
+            let mut p = pred_init(&init_d);
+            igep_opt(&FwPredSpec, &mut p, 4);
+            for src in 0..n {
+                let oracle = crate::reference::dijkstra_reference(&init_d, src);
+                for dst in 0..n {
+                    assert_eq!(p[(src, dst)].0, oracle[dst], "n={n} {src}->{dst}");
+                    match extract_path_pred(&p, src, dst) {
+                        Some(path) => {
+                            assert_eq!(path[0], src);
+                            assert_eq!(*path.last().unwrap(), dst);
+                            let mut total = 0i64;
+                            for win in path.windows(2) {
+                                let w = init_d[(win[0], win[1])];
+                                assert!(
+                                    w < <i64 as Weight>::INFINITY,
+                                    "path uses a missing edge {}->{}",
+                                    win[0],
+                                    win[1]
+                                );
+                                total += w;
+                            }
+                            assert_eq!(total, oracle[dst], "path weight {src}->{dst}");
+                        }
+                        None => assert_eq!(
+                            oracle[dst],
+                            <i64 as Weight>::INFINITY,
+                            "no path returned but oracle reaches {src}->{dst}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Differential on unit-weight graphs: pred-spec distances equal BFS
+    /// hop counts, and every reconstructed path has exactly that many
+    /// hops (shortest unweighted paths).
+    #[test]
+    fn pred_spec_differential_vs_bfs_oracle_on_unit_graphs() {
+        fn bfs_hops(adj: &Matrix<i64>, src: usize) -> Vec<i64> {
+            let n = adj.n();
+            let inf = <i64 as Weight>::INFINITY;
+            let mut hops = vec![inf; n];
+            hops[src] = 0;
+            let mut queue = std::collections::VecDeque::from([src]);
+            while let Some(u) = queue.pop_front() {
+                for v in 0..n {
+                    if u != v && adj[(u, v)] == 1 && hops[v] == inf {
+                        hops[v] = hops[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            hops
+        }
+        for (n, seed) in [(8usize, 0x8F5u64), (16, 0xFACE), (32, 0xD06)] {
+            // Sparse unit-weight digraph: edge probability 1/4.
+            let mut s = seed | 1;
+            let mut rng = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let init_d = Matrix::from_fn(n, n, |i, j| {
+                if i == j {
+                    0
+                } else if rng() % 4 == 0 {
+                    1
+                } else {
+                    <i64 as Weight>::INFINITY
+                }
+            });
+            let mut p = pred_init(&init_d);
+            igep_opt(&FwPredSpec, &mut p, 4);
+            for src in 0..n {
+                let hops = bfs_hops(&init_d, src);
+                for dst in 0..n {
+                    assert_eq!(p[(src, dst)].0, hops[dst], "n={n} {src}->{dst}");
+                    if let Some(path) = extract_path_pred(&p, src, dst) {
+                        assert_eq!(path.len() as i64 - 1, hops[dst], "hops {src}->{dst}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// No-path and self-loop edge cases: isolated vertices reconstruct to
+    /// `None`, self paths are the single vertex, and explicit self-loop
+    /// edges are ignored by the builder (a self loop never shortens a
+    /// shortest path under nonnegative weights).
+    #[test]
+    fn pred_spec_no_path_and_self_loop_edge_cases() {
+        // Vertex 3 is isolated; vertex 1 carries a self loop.
+        let edges = vec![(0usize, 1, 2i64), (1, 1, 5), (1, 2, 3), (2, 0, 7)];
+        let mut m = pred_matrix(4, &edges);
+        assert_eq!(
+            m[(1, 1)],
+            (0, NO_PRED),
+            "self loop must not enter the matrix"
+        );
+        igep_opt(&FwPredSpec, &mut m, 1);
+        assert_eq!(extract_path_pred(&m, 0, 2), Some(vec![0, 1, 2]));
+        assert_eq!(m[(0, 2)].0, 5);
+        assert_eq!(extract_path_pred(&m, 1, 1), Some(vec![1]), "self path");
+        for v in 0..3 {
+            assert_eq!(extract_path_pred(&m, v, 3), None, "{v}->3 unreachable");
+            assert_eq!(extract_path_pred(&m, 3, v), None, "3->{v} unreachable");
+        }
+        assert_eq!(extract_path_pred(&m, 3, 3), Some(vec![3]));
+    }
+
+    /// The successor and predecessor specs are duals: identical distances
+    /// and identical reconstructed path *weights* on the same input.
+    #[test]
+    fn pred_and_successor_specs_agree() {
+        let n = 16;
+        let init_d = random_graph(n, 0xD0A1);
+        let mut nxt = Matrix::from_fn(n, n, |i, j| {
+            let d = init_d[(i, j)];
+            if i != j && d < <i64 as Weight>::INFINITY {
+                (d, j as u32)
+            } else {
+                (d, NO_NEXT)
+            }
+        });
+        let mut prd = pred_init(&init_d);
+        igep_opt(&FwPathSpec, &mut nxt, 4);
+        igep_opt(&FwPredSpec, &mut prd, 4);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(prd[(i, j)].0, nxt[(i, j)].0, "({i},{j})");
+                let weigh = |path: Option<Vec<usize>>| {
+                    path.map(|p| p.windows(2).map(|w| init_d[(w[0], w[1])]).sum::<i64>())
+                };
+                assert_eq!(
+                    weigh(extract_path_pred(&prd, i, j)),
+                    weigh(extract_path(&nxt, i, j)),
+                    "path weight ({i},{j})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -67,6 +67,23 @@ fn progress_line(log: &gep_obs::FlightLog) -> (Option<i64>, String) {
         g("progress.total_steps"),
         g("progress.pct"),
     ) else {
+        // Not a checkpointed solve — maybe a live `gep-serve --flight`.
+        if let Some(epoch) = g("serve.epoch") {
+            let mut line = format!("serve: epoch {epoch:.0}");
+            if let Some(depth) = g("serve.batch_depth") {
+                line += &format!("  batch {depth:.0}");
+            }
+            if let Some(age) = g("serve.cache_age_s") {
+                line += &format!("  cache age {}", gep_bench::util::fmt_secs(age));
+            }
+            if let Some(open) = g("serve.connections.open") {
+                line += &format!("  conns {open:.0}");
+            }
+            if let Some(solve) = g("serve.resolve_s") {
+                line += &format!("  last solve {solve:.3}s");
+            }
+            return (seq, line);
+        }
         return (
             seq,
             "sampling, but no progress.* gauges yet (is a checkpointed solve running?)".into(),
@@ -232,6 +249,7 @@ fn main() {
         "misses",
         "profile",
         "resume",
+        "serve",
         "tune",
         "compare",
         "validate",
@@ -897,6 +915,55 @@ fn main() {
         emit(&d);
         if rows.iter().any(|r| !r.bit_identical) {
             eprintln!("error: a recovery scenario diverged from the uninterrupted run");
+            std::process::exit(1);
+        }
+    }
+    if run("serve") {
+        // A full recorder (gauges too): the server publishes serve.*
+        // epoch/batch-depth/cache-age gauges, which the flight sampler
+        // streams when `--flight` is active.
+        if json || flight_active {
+            gep_obs::install(gep_obs::Recorder::new());
+        }
+        let outcome = serve::serve(quick);
+        serve::print_serve(&outcome);
+        let mut d = BenchDoc::new(
+            "serve",
+            "APSP-as-a-service: cached I-GEP solve, epoch swap, loadgen latency",
+            quick,
+        );
+        // Every row field is a pure function of (n, seed, workers) —
+        // latency goes only to the histograms object, which `repro
+        // compare` never gates on.
+        d.row(vec![
+            ("n", inum(outcome.n as u64)),
+            ("threads", inum(outcome.workers as u64)),
+            ("requests", inum(outcome.requests)),
+            ("errors", inum(outcome.errors)),
+            ("epoch_start", inum(outcome.epoch_start)),
+            ("epoch_final", inum(outcome.epoch_final)),
+            ("resolves", inum(outcome.resolves)),
+            ("mutations", inum(outcome.mutations)),
+            ("epoch_regressions", inum(outcome.epoch_regressions)),
+            ("oracle_match", Json::Bool(outcome.oracle_match)),
+        ]);
+        for (op, count) in &outcome.op_counts {
+            d.counter(&format!("serve.loadgen.{op}.requests"), *count);
+        }
+        for (op, hist) in &outcome.latency_ns {
+            d.histogram(&format!("serve.latency_ns.{op}"), hist);
+        }
+        d.gauge("serve.solve_s", outcome.solve_s);
+        d.gauge("serve.read_qps", outcome.read_qps);
+        if let Some(rec) = gep_obs::take() {
+            for (k, v) in &rec.counters {
+                d.counter(k, *v);
+            }
+            reinstall(rec);
+        }
+        emit(&d);
+        if !outcome.oracle_match || outcome.epoch_regressions > 0 || outcome.errors > 0 {
+            eprintln!("error: serving run failed verification (oracle/epochs/errors)");
             std::process::exit(1);
         }
     }

@@ -81,6 +81,18 @@ pub fn tolerance_for(field: &str) -> Tolerance {
             informational: true,
         };
     }
+    if field.ends_with("_ns") {
+        // Nanosecond latency fields (serving p50/p99 and friends) are
+        // pure wall-clock: report drift, never gate. Deterministic
+        // serving facts (request counts, epochs) use other names and
+        // stay exact.
+        return Tolerance {
+            rel: 1.0,
+            direction: Direction::LowerIsBetter,
+            noisy: true,
+            informational: true,
+        };
+    }
     if field.ends_with("_s") || field == "seconds" || field.ends_with("gflops") {
         return Tolerance {
             rel: 0.5,
@@ -394,6 +406,13 @@ mod tests {
             }
         );
         assert_eq!(tolerance_for("ratio_sim_over_bound").rel, 0.1);
+        // Serving latencies: wall-clock nanoseconds are informational;
+        // serving counts/epochs fall through to exact.
+        let t = tolerance_for("p99_ns");
+        assert!(t.informational && t.noisy);
+        assert_eq!(t.direction, Direction::LowerIsBetter);
+        assert_eq!(tolerance_for("epoch_regressions").rel, 0.0);
+        assert!(!tolerance_for("requests").informational);
     }
 
     fn doc(rows: Vec<Vec<(&str, Json)>>) -> Json {

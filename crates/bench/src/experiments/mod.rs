@@ -12,5 +12,6 @@ pub mod lemma;
 pub mod misses;
 pub mod profile;
 pub mod resume;
+pub mod serve;
 pub mod theory;
 pub mod tune;

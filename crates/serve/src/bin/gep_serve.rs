@@ -1,0 +1,86 @@
+//! The `gep-serve` server binary.
+//!
+//! ```text
+//! gep-serve [--addr HOST:PORT] [--n N] [--seed S] [--flight PATH]
+//! ```
+//!
+//! Loads the seeded random graph `(n, seed)` (see `gep_serve::graph`),
+//! runs the initial I-GEP solve (epoch 1), then serves until a client
+//! sends `{"op":"shutdown"}` or the process receives SIGINT-as-EOF. With
+//! `--flight`, a flight-recorder sampler streams `serve.*` counters and
+//! gauges to a JSONL file that `repro watch` can tail live from another
+//! terminal.
+
+use gep_serve::graph::random_graph;
+use gep_serve::server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: gep-serve [--addr HOST:PORT] [--n N] [--seed S] [--flight PATH]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7475".to_string();
+    let mut n: usize = 512;
+    let mut seed: u64 = 42;
+    let mut flight: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => addr = value(),
+            "--n" => n = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--flight" => flight = Some(value()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    // Counters/gauges publish into a process-global recorder; the flight
+    // sampler (if any) snapshots it periodically.
+    gep_obs::install(gep_obs::Recorder::new());
+    let _sampler = flight.as_ref().map(|path| {
+        let sampler =
+            gep_obs::Sampler::start(gep_obs::SamplerConfig::new(path)).unwrap_or_else(|e| {
+                eprintln!("gep-serve: cannot start flight recorder at {path}: {e}");
+                std::process::exit(1)
+            });
+        eprintln!("gep-serve: flight recorder streaming to {path}");
+        sampler
+    });
+
+    eprintln!("gep-serve: solving n={n} seed={seed} (epoch 1)...");
+    let base = random_graph(n, seed);
+    let config = ServerConfig { addr };
+    let server = Server::start(&config, base).unwrap_or_else(|e| {
+        eprintln!("gep-serve: cannot start: {e}");
+        std::process::exit(1)
+    });
+    let snap = server.cache().snapshot();
+    eprintln!(
+        "gep-serve: listening on {} (n={}, epoch {}, solve {:.3}s)",
+        server.local_addr(),
+        snap.n(),
+        snap.epoch,
+        snap.solve_s
+    );
+
+    server.wait_for_shutdown_request();
+    eprintln!("gep-serve: shutdown requested, draining...");
+    server.shutdown();
+    let (served, errors) = server.request_totals();
+    let stats = server.cache().stats();
+    eprintln!(
+        "gep-serve: done — {} served, {} errors, {} re-solves, final epoch {}",
+        served,
+        errors,
+        stats.resolves,
+        server.cache().snapshot().epoch
+    );
+    if let Some(sampler) = _sampler {
+        sampler.stop(); // final flush sample carries the closing stats
+    }
+}

@@ -1,0 +1,236 @@
+//! The `loadgen` client binary.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--workers W] [--requests R | --duration-s D]
+//!         [--qps Q] [--mix dist|default] [--seed S] [--n N]
+//!         [--mutate-every-s M] [--json DIR] [--quick] [--shutdown]
+//! ```
+//!
+//! Drives a running `gep-serve` with the configured workload, prints a
+//! per-op latency summary (p50/p90/p99 from log-bucketed histograms),
+//! and with `--json DIR` writes a schema-v3 `BENCH_serve_smoke.json`
+//! into `DIR` (latencies in the `histograms` object; counts in the row)
+//! that `repro validate` accepts. The CI-gated `BENCH_serve.json` comes
+//! from the deterministic in-process `repro serve` experiment instead —
+//! a live-socket run's row would not be machine-independent.
+//!
+//! `--qps` switches from closed-loop (peak throughput, the default) to
+//! open-loop pacing at the target rate. `--mutate-every-s M` fires a
+//! seeded 16-edge mutation batch every `M` seconds from a side
+//! connection, so smoke runs exercise re-solve-under-load.
+//! `--shutdown` skips the workload entirely and sends the server one
+//! graceful-shutdown request (the CI smoke job's off switch).
+
+use std::net::ToSocketAddrs;
+use std::time::Duration;
+
+use gep_obs::{BenchDoc, Json};
+use gep_serve::graph::random_mutations;
+use gep_serve::loadgen::{self, LoadgenConfig, LoadgenReport, Mix, Pacing, RunLength};
+use gep_serve::protocol::Request;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--workers W] [--requests R | --duration-s D] \
+         [--qps Q] [--mix dist|default] [--seed S] [--n N] [--mutate-every-s M] \
+         [--json PATH] [--quick] [--shutdown]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut workers = 4usize;
+    let mut length = RunLength::Requests(100_000);
+    let mut pacing = Pacing::Closed;
+    let mut mix = Mix::default();
+    let mut seed = 42u64;
+    let mut n = 512u32;
+    let mut mutate_every_s: Option<f64> = None;
+    let mut json_path: Option<String> = None;
+    let mut quick = false;
+    let mut shutdown = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => addr = Some(value()),
+            "--workers" => workers = value().parse().unwrap_or_else(|_| usage()),
+            "--requests" => {
+                length = RunLength::Requests(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--duration-s" => {
+                length = RunLength::Duration(Duration::from_secs_f64(
+                    value().parse().unwrap_or_else(|_| usage()),
+                ))
+            }
+            "--qps" => {
+                pacing = Pacing::Open {
+                    target_qps: value().parse().unwrap_or_else(|_| usage()),
+                }
+            }
+            "--mix" => {
+                mix = match value().as_str() {
+                    "dist" => Mix::dist_only(),
+                    "default" => Mix::default(),
+                    _ => usage(),
+                }
+            }
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--n" => n = value().parse().unwrap_or_else(|_| usage()),
+            "--mutate-every-s" => {
+                mutate_every_s = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--json" => json_path = Some(value()),
+            "--quick" => quick = true,
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let addr = addr
+        .unwrap_or_else(|| usage())
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .unwrap_or_else(|| {
+            eprintln!("loadgen: address does not resolve");
+            std::process::exit(1)
+        });
+
+    if shutdown {
+        match loadgen::request_once(addr, &Request::Shutdown) {
+            Ok(resp) => {
+                eprintln!("loadgen: server acknowledged shutdown: {resp:?}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("loadgen: shutdown request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let config = LoadgenConfig {
+        addr,
+        workers,
+        pacing,
+        length,
+        mix,
+        seed,
+        n,
+    };
+
+    // Optional background mutator: a seeded batch every M seconds for
+    // the lifetime of the run (smoke mode).
+    let mutator_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mutator = mutate_every_s.map(|every| {
+        let stop = std::sync::Arc::clone(&mutator_stop);
+        std::thread::spawn(move || {
+            let mut round = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::sleep(Duration::from_secs_f64(every));
+                if stop.load(std::sync::atomic::Ordering::Acquire) {
+                    break;
+                }
+                let edges = random_mutations(n as usize, 16, seed ^ (round + 1));
+                match loadgen::request_once(addr, &Request::Mutate { edges }) {
+                    Ok(resp) => eprintln!(
+                        "loadgen: mutation batch {} accepted at epoch {:?}",
+                        round,
+                        resp.get("epoch").and_then(Json::as_u64)
+                    ),
+                    Err(e) => eprintln!("loadgen: mutation batch {round} failed: {e}"),
+                }
+                round += 1;
+            }
+        })
+    });
+
+    let report = loadgen::run(&config).unwrap_or_else(|e| {
+        eprintln!("loadgen: run failed: {e}");
+        std::process::exit(1)
+    });
+    mutator_stop.store(true, std::sync::atomic::Ordering::Release);
+    if let Some(handle) = mutator {
+        let _ = handle.join();
+    }
+
+    print_report(&report);
+    if report.epoch_regressions > 0 {
+        eprintln!(
+            "loadgen: FAIL — {} epoch regressions observed",
+            report.epoch_regressions
+        );
+        std::process::exit(1);
+    }
+    if let Some(dir) = json_path {
+        let doc = bench_doc(&report, &config, quick);
+        match doc.write_to(std::path::Path::new(&dir)) {
+            Ok(full) => eprintln!("loadgen: wrote {}", full.display()),
+            Err(e) => {
+                eprintln!("loadgen: cannot write into {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn print_report(report: &LoadgenReport) {
+    eprintln!(
+        "loadgen: {} requests in {:.2}s ({:.0} req/s), {} errors, epochs {}..{}, {} regressions",
+        report.total(),
+        report.elapsed_s,
+        report.qps(),
+        report.errors(),
+        report.epoch_min,
+        report.epoch_max,
+        report.epoch_regressions
+    );
+    for (op, stats) in &report.ops {
+        let q = |p: Option<u64>| {
+            p.map(|ns| format!("{:.1}us", ns as f64 / 1e3))
+                .unwrap_or_else(|| "-".into())
+        };
+        eprintln!(
+            "  {:<7} {:>9} reqs  p50 {:>9}  p90 {:>9}  p99 {:>9}",
+            op,
+            stats.count,
+            q(stats.latency_ns.p50()),
+            q(stats.latency_ns.p90()),
+            q(stats.latency_ns.p99()),
+        );
+    }
+}
+
+/// Builds the standalone loadgen's BENCH doc. Deterministic facts
+/// (counts, errors, epochs) go in the row; latencies only in the
+/// `histograms` object, which `repro compare` treats as informational.
+fn bench_doc(report: &LoadgenReport, config: &LoadgenConfig, quick: bool) -> BenchDoc {
+    let mut doc = BenchDoc::new(
+        "serve_smoke",
+        "APSP serving: loadgen against a live gep-serve",
+        quick,
+    );
+    doc.row(vec![
+        ("n", Json::Int(config.n as i64)),
+        ("threads", Json::Int(config.workers as i64)),
+        ("requests", Json::Int(report.total() as i64)),
+        ("errors", Json::Int(report.errors() as i64)),
+        ("epoch_min", Json::Int(report.epoch_min as i64)),
+        ("epoch_max", Json::Int(report.epoch_max as i64)),
+        (
+            "epoch_regressions",
+            Json::Int(report.epoch_regressions as i64),
+        ),
+        ("elapsed_s", Json::from_f64(report.elapsed_s)),
+        ("qps", Json::from_f64(report.qps())),
+    ]);
+    for (op, stats) in &report.ops {
+        doc.counter(&format!("serve.loadgen.{op}.requests"), stats.count);
+        doc.histogram(&format!("serve.latency_ns.{op}"), &stats.latency_ns);
+    }
+    doc
+}

@@ -1,0 +1,38 @@
+//! # gep-serve — APSP-as-a-service
+//!
+//! The paper's economics, productized: a single cache-oblivious I-GEP
+//! Floyd–Warshall solve costs `Θ(n³)` work but `O(n³/(B√M))` cache
+//! misses, and once solved, every point query — distance, path,
+//! reachability — is an `O(1)` (or `O(path)`) lookup. This crate wraps
+//! that trade in a long-running server:
+//!
+//! * [`state`] — the epoch-versioned [`state::ApspCache`]: queries read
+//!   an immutable `Arc` snapshot and never block on a solve; a
+//!   background thread drains the mutation batch buffer, re-solves with
+//!   [`gep_apps::FwPredSpec`] (predecessor tracking for path
+//!   reconstruction), and atomically swaps the new epoch in;
+//! * [`protocol`] — length-prefixed JSON frames over TCP, hand-rolled on
+//!   `std::net` with the workspace's own `gep_obs::Json` (no serde, no
+//!   async runtime); every response carries the answering epoch;
+//! * [`server`] — the thread-per-connection front end plus a stats
+//!   ticker publishing `serve.*` counters and gauges, flight-recorder
+//!   ready (`gep-serve --flight` + `repro watch` tails a live server);
+//! * [`loadgen`] — seeded open/closed-loop workload driver recording
+//!   per-request latency into mergeable log-bucketed histograms, the
+//!   source of `BENCH_serve.json`;
+//! * [`graph`] — deterministic seeded graphs and mutation streams shared
+//!   by the server, the load generator, tests, and `repro serve`.
+//!
+//! The protocol, epoch/batching semantics, and loadgen knobs are
+//! documented in `docs/SERVING.md`.
+
+pub mod graph;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use loadgen::{LoadgenConfig, LoadgenReport, Mix, Pacing, RunLength};
+pub use protocol::{Request, TROPICAL_INF};
+pub use server::{Server, ServerConfig};
+pub use state::{ApspCache, Solved};

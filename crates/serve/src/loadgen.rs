@@ -1,0 +1,359 @@
+//! The load generator: seeded open/closed-loop client workloads.
+//!
+//! Each worker owns one TCP connection and one xorshift stream, issues
+//! requests drawn from a [`Mix`], and records per-request latency into
+//! *local* log-bucketed [`Histogram`]s — no shared state on the hot
+//! path. Histograms merge order-independently at the end, so the merged
+//! report is deterministic for a fixed request count regardless of
+//! scheduling.
+//!
+//! Two pacing disciplines:
+//!
+//! * [`Pacing::Closed`] — each worker fires its next request the moment
+//!   the previous response lands (peak-throughput mode; what the
+//!   `repro serve` experiment and the ≥100k-query acceptance run use);
+//! * [`Pacing::Open`] — each worker aims at `target_qps / workers`
+//!   requests per second on a fixed schedule, sleeping until each
+//!   request's deadline (latency-under-load mode; missed deadlines are
+//!   *not* skipped, so the offered load is exact over the run).
+//!
+//! Every worker also tracks the epoch of each response and counts
+//! regressions (a response epoch lower than the connection's previous
+//! one). A correct server yields zero: the epoch swap is atomic and
+//! each connection's requests are answered in order.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use gep_obs::{Histogram, Json};
+
+use crate::graph::XorShift;
+use crate::protocol::{read_frame, response_epoch, response_ok, write_frame, Request};
+
+/// Relative weights of the query ops a worker draws from.
+#[derive(Clone, Copy, Debug)]
+pub struct Mix {
+    pub dist: u32,
+    pub path: u32,
+    pub reach: u32,
+    pub status: u32,
+}
+
+impl Default for Mix {
+    /// Dist-dominated, matching the paper's point-lookup amortization
+    /// story.
+    fn default() -> Self {
+        Mix {
+            dist: 90,
+            path: 5,
+            reach: 4,
+            status: 1,
+        }
+    }
+}
+
+impl Mix {
+    /// Only `dist` queries (the deterministic gated experiment).
+    pub fn dist_only() -> Self {
+        Mix {
+            dist: 1,
+            path: 0,
+            reach: 0,
+            status: 0,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.dist + self.path + self.reach + self.status
+    }
+
+    fn draw(&self, rng: &mut XorShift, n: u32) -> Request {
+        let t = self.total().max(1) as u64;
+        let mut roll = rng.below(t) as u32;
+        let u = rng.below(n as u64) as u32;
+        let v = rng.below(n as u64) as u32;
+        if roll < self.dist {
+            return Request::Dist { u, v };
+        }
+        roll -= self.dist;
+        if roll < self.path {
+            return Request::Path { u, v };
+        }
+        roll -= self.path;
+        if roll < self.reach {
+            return Request::Reach { u, v };
+        }
+        Request::Status
+    }
+}
+
+/// How workers pace their requests.
+#[derive(Clone, Copy, Debug)]
+pub enum Pacing {
+    /// Fire the next request as soon as the previous response lands.
+    Closed,
+    /// Aim at this many requests per second across all workers.
+    Open { target_qps: f64 },
+}
+
+/// Run length: a fixed request count (deterministic) or a wall-clock
+/// duration (smoke/soak).
+#[derive(Clone, Copy, Debug)]
+pub enum RunLength {
+    Requests(u64),
+    Duration(Duration),
+}
+
+/// Full load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    pub addr: SocketAddr,
+    pub workers: usize,
+    pub pacing: Pacing,
+    pub length: RunLength,
+    pub mix: Mix,
+    pub seed: u64,
+    /// Vertex-id range to draw query endpoints from.
+    pub n: u32,
+}
+
+/// Per-op outcome: request count, failures, latency distribution.
+#[derive(Debug)]
+pub struct OpStats {
+    pub count: u64,
+    pub errors: u64,
+    pub latency_ns: Histogram,
+}
+
+impl OpStats {
+    fn new() -> Self {
+        OpStats {
+            count: 0,
+            errors: 0,
+            latency_ns: Histogram::new(),
+        }
+    }
+
+    fn merge(&mut self, other: &OpStats) {
+        self.count += other.count;
+        self.errors += other.errors;
+        self.latency_ns.merge(&other.latency_ns);
+    }
+}
+
+/// The merged outcome of a load-generator run.
+#[derive(Debug)]
+pub struct LoadgenReport {
+    /// Per-op stats, keyed by op name (BTreeMap: deterministic order).
+    pub ops: BTreeMap<&'static str, OpStats>,
+    /// Lowest and highest epoch observed across all responses.
+    pub epoch_min: u64,
+    pub epoch_max: u64,
+    /// Responses whose epoch was lower than the same connection's
+    /// previous response — zero on a correct server.
+    pub epoch_regressions: u64,
+    /// Wall-clock seconds of the whole run.
+    pub elapsed_s: f64,
+}
+
+impl LoadgenReport {
+    /// Total requests across all ops.
+    pub fn total(&self) -> u64 {
+        self.ops.values().map(|s| s.count).sum()
+    }
+
+    /// Total failed requests.
+    pub fn errors(&self) -> u64 {
+        self.ops.values().map(|s| s.errors).sum()
+    }
+
+    /// Achieved requests per second.
+    pub fn qps(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.total() as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+}
+
+struct WorkerOutcome {
+    ops: BTreeMap<&'static str, OpStats>,
+    epoch_min: u64,
+    epoch_max: u64,
+    epoch_regressions: u64,
+}
+
+/// Runs the configured workload to completion and merges the per-worker
+/// results.
+pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    assert!(config.workers >= 1, "need at least one worker");
+    let t0 = Instant::now();
+    let outcomes: Vec<std::io::Result<WorkerOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.workers)
+            .map(|w| {
+                let cfg = config.clone();
+                scope.spawn(move || worker(w, &cfg))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let mut ops: BTreeMap<&'static str, OpStats> = BTreeMap::new();
+    let (mut epoch_min, mut epoch_max, mut regressions) = (u64::MAX, 0u64, 0u64);
+    for outcome in outcomes {
+        let outcome = outcome?;
+        for (name, stats) in &outcome.ops {
+            ops.entry(name).or_insert_with(OpStats::new).merge(stats);
+        }
+        epoch_min = epoch_min.min(outcome.epoch_min);
+        epoch_max = epoch_max.max(outcome.epoch_max);
+        regressions += outcome.epoch_regressions;
+    }
+    Ok(LoadgenReport {
+        ops,
+        epoch_min: if epoch_min == u64::MAX { 0 } else { epoch_min },
+        epoch_max,
+        epoch_regressions: regressions,
+        elapsed_s,
+    })
+}
+
+fn worker(index: usize, config: &LoadgenConfig) -> std::io::Result<WorkerOutcome> {
+    let stream = TcpStream::connect(config.addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    // Decorrelate workers while keeping the whole fleet a pure function
+    // of (seed, workers).
+    let mut rng = XorShift::new(config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut outcome = WorkerOutcome {
+        ops: BTreeMap::new(),
+        epoch_min: u64::MAX,
+        epoch_max: 0,
+        epoch_regressions: 0,
+    };
+    let mut last_epoch = 0u64;
+
+    let per_worker_interval = match config.pacing {
+        Pacing::Closed => None,
+        Pacing::Open { target_qps } => {
+            let per_worker_qps = (target_qps / config.workers as f64).max(1e-9);
+            Some(Duration::from_secs_f64(1.0 / per_worker_qps))
+        }
+    };
+    let started = Instant::now();
+    let mut sent = 0u64;
+    loop {
+        match config.length {
+            RunLength::Requests(total) => {
+                // Worker w takes the w-th residue class of 0..total.
+                if config.workers as u64 * sent + index as u64 >= total {
+                    break;
+                }
+            }
+            RunLength::Duration(d) => {
+                if started.elapsed() >= d {
+                    break;
+                }
+            }
+        }
+        if let Some(interval) = per_worker_interval {
+            let deadline = started + interval * sent as u32;
+            let now = Instant::now();
+            if deadline > now {
+                std::thread::sleep(deadline - now);
+            }
+        }
+        let req = config.mix.draw(&mut rng, config.n.max(1));
+        let op = req.op_name();
+        let t0 = Instant::now();
+        write_frame(&mut writer, &req.to_json())?;
+        let resp = read_frame(&mut reader)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed mid-run")
+        })?;
+        let latency_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        sent += 1;
+
+        let stats = outcome.ops.entry(op).or_insert_with(OpStats::new);
+        stats.count += 1;
+        stats.latency_ns.record(latency_ns);
+        if !response_ok(&resp) {
+            stats.errors += 1;
+        }
+        if let Some(epoch) = response_epoch(&resp) {
+            if epoch < last_epoch {
+                outcome.epoch_regressions += 1;
+            }
+            last_epoch = epoch;
+            outcome.epoch_min = outcome.epoch_min.min(epoch);
+            outcome.epoch_max = outcome.epoch_max.max(epoch);
+        }
+    }
+    Ok(outcome)
+}
+
+/// One-shot client helper: send a single request on a fresh connection
+/// and return the response (used by binaries and tests for control
+/// operations like `mutate` and `shutdown`).
+pub fn request_once(addr: SocketAddr, req: &Request) -> std::io::Result<Json> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, &req.to_json())?;
+    read_frame(&mut reader)?
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "no response"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_draw_respects_zero_weights() {
+        let mix = Mix::dist_only();
+        let mut rng = XorShift::new(5);
+        for _ in 0..100 {
+            assert_eq!(mix.draw(&mut rng, 16).op_name(), "dist");
+        }
+    }
+
+    #[test]
+    fn mix_draw_covers_all_ops() {
+        let mix = Mix::default();
+        let mut rng = XorShift::new(5);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..10_000 {
+            seen.insert(mix.draw(&mut rng, 16).op_name());
+        }
+        assert_eq!(
+            seen.into_iter().collect::<Vec<_>>(),
+            vec!["dist", "path", "reach", "status"]
+        );
+    }
+
+    #[test]
+    fn request_count_split_covers_exactly_total() {
+        // The residue-class split: with W workers and T total requests,
+        // worker w sends ⌈(T - w) / W⌉, summing to exactly T.
+        for workers in 1..=7u64 {
+            for total in [0u64, 1, 5, 100, 1001] {
+                let sum: u64 = (0..workers)
+                    .map(|w| {
+                        let mut sent = 0u64;
+                        while workers * sent + w < total {
+                            sent += 1;
+                        }
+                        sent
+                    })
+                    .sum();
+                assert_eq!(sum, total, "workers={workers} total={total}");
+            }
+        }
+    }
+}

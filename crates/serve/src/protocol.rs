@@ -1,0 +1,331 @@
+//! The wire protocol: length-prefixed JSON frames over a byte stream.
+//!
+//! One frame = a 4-byte big-endian length followed by that many bytes of
+//! compact JSON (the [`gep_obs::Json`] writer — the workspace carries no
+//! serde). Both directions use the same framing; a connection is a
+//! sequence of request/response frame pairs, in order, one in flight per
+//! connection (pipelining is the load generator's `--workers` knob, not
+//! the protocol's).
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op":"dist","u":0,"v":5}
+//! {"op":"path","u":0,"v":5}
+//! {"op":"reach","u":0,"v":5}
+//! {"op":"mutate","edges":[[0,5,12],[3,4,7]]}
+//! {"op":"status"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! A mutation triple `[u, v, w]` sets the weight of the directed edge
+//! `u → v` to `w`; any `w ≥` [`TROPICAL_INF`] deletes the edge, and
+//! diagonal entries (`u == v`) are ignored (the distance of a vertex to
+//! itself is pinned at 0). The whole `edges` array enters the server's
+//! batch buffer atomically, so one `mutate` request is re-solved as one
+//! batch.
+//!
+//! ## Responses
+//!
+//! Every response carries `"ok"` and the `"epoch"` of the cached solve it
+//! was answered from (mutations/status report the epoch current at accept
+//! time). Epochs are monotone non-decreasing over any connection — the
+//! client-visible proof that an atomic swap, not a torn read, publishes
+//! each re-solve.
+//!
+//! ```json
+//! {"ok":true,"epoch":1,"dist":12}          // dist; null = unreachable
+//! {"ok":true,"epoch":1,"dist":12,"path":[0,2,5]}
+//! {"ok":true,"epoch":1,"reach":true}
+//! {"ok":true,"epoch":1,"pending":2}        // mutate: batch depth after accept
+//! {"ok":true,"epoch":2,"n":512,...}        // status
+//! {"ok":false,"epoch":1,"error":"..."}
+//! ```
+
+use gep_obs::Json;
+use std::io::{self, Read, Write};
+
+pub use gep_core::algebra::TROPICAL_INF;
+
+/// Frames larger than this are rejected as malformed (1 MiB covers any
+/// realistic mutation batch or path response by orders of magnitude).
+pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Writes one frame: 4-byte big-endian length, then the compact JSON.
+pub fn write_frame(w: &mut impl Write, msg: &Json) -> io::Result<()> {
+    let mut body = String::new();
+    msg.write_into(&mut body);
+    let len = body.len() as u32;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {len} bytes exceeds {MAX_FRAME_BYTES}"),
+        ));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` on clean end-of-stream (the peer closed
+/// between frames); any torn frame or malformed JSON is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read(&mut len_bytes[..1])? {
+        0 => return Ok(None), // clean EOF at a frame boundary
+        _ => r.read_exact(&mut len_bytes[1..])?,
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame not UTF-8: {e}")))?;
+    Json::parse(text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame not JSON: {e}")))
+}
+
+/// One directed-edge weight update: set `u → v` to `w` (`w ≥`
+/// [`TROPICAL_INF`] deletes the edge).
+pub type EdgeMut = (u32, u32, i64);
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Shortest distance `u → v`.
+    Dist { u: u32, v: u32 },
+    /// Shortest distance plus the vertex sequence of one shortest path.
+    Path { u: u32, v: u32 },
+    /// Reachability `u → v` (transitive closure through min-plus).
+    Reach { u: u32, v: u32 },
+    /// Batch of edge mutations, accepted atomically.
+    Mutate { edges: Vec<EdgeMut> },
+    /// Server/cache status.
+    Status,
+    /// Graceful shutdown: the server answers, drains, and exits.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes for the wire.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Dist { u, v } => point("dist", *u, *v),
+            Request::Path { u, v } => point("path", *u, *v),
+            Request::Reach { u, v } => point("reach", *u, *v),
+            Request::Mutate { edges } => Json::obj(vec![
+                ("op", Json::Str("mutate".into())),
+                (
+                    "edges",
+                    Json::Arr(
+                        edges
+                            .iter()
+                            .map(|&(u, v, w)| {
+                                Json::Arr(vec![
+                                    Json::Int(u as i64),
+                                    Json::Int(v as i64),
+                                    Json::Int(w),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Request::Status => Json::obj(vec![("op", Json::Str("status".into()))]),
+            Request::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
+        }
+    }
+
+    /// Parses a request frame. The error string goes back to the client
+    /// verbatim in an `ok:false` response.
+    pub fn from_json(msg: &Json) -> Result<Request, String> {
+        let op = msg
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing string field 'op'")?;
+        let endpoint = |key: &str| -> Result<u32, String> {
+            msg.get(key)
+                .and_then(Json::as_u64)
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| format!("op '{op}' needs u32 field '{key}'"))
+        };
+        match op {
+            "dist" => Ok(Request::Dist {
+                u: endpoint("u")?,
+                v: endpoint("v")?,
+            }),
+            "path" => Ok(Request::Path {
+                u: endpoint("u")?,
+                v: endpoint("v")?,
+            }),
+            "reach" => Ok(Request::Reach {
+                u: endpoint("u")?,
+                v: endpoint("v")?,
+            }),
+            "mutate" => {
+                let arr = msg
+                    .get("edges")
+                    .and_then(Json::as_arr)
+                    .ok_or("op 'mutate' needs array field 'edges'")?;
+                let mut edges = Vec::with_capacity(arr.len());
+                for (idx, triple) in arr.iter().enumerate() {
+                    let parts = triple
+                        .as_arr()
+                        .filter(|p| p.len() == 3)
+                        .ok_or_else(|| format!("edges[{idx}] must be [u, v, w]"))?;
+                    let small = |i: usize| {
+                        parts[i]
+                            .as_u64()
+                            .and_then(|x| u32::try_from(x).ok())
+                            .ok_or_else(|| format!("edges[{idx}][{i}] must be a u32"))
+                    };
+                    let w = parts[2]
+                        .as_i64()
+                        .ok_or_else(|| format!("edges[{idx}][2] must be an i64 weight"))?;
+                    edges.push((small(0)?, small(1)?, w));
+                }
+                Ok(Request::Mutate { edges })
+            }
+            "status" => Ok(Request::Status),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op '{other}'")),
+        }
+    }
+
+    /// The op name as it appears in metrics and reports.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Dist { .. } => "dist",
+            Request::Path { .. } => "path",
+            Request::Reach { .. } => "reach",
+            Request::Mutate { .. } => "mutate",
+            Request::Status => "status",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+fn point(op: &str, u: u32, v: u32) -> Json {
+    Json::obj(vec![
+        ("op", Json::Str(op.into())),
+        ("u", Json::Int(u as i64)),
+        ("v", Json::Int(v as i64)),
+    ])
+}
+
+/// Builds an `ok:true` response at `epoch` with extra payload fields.
+pub fn ok_response(epoch: u64, extra: Vec<(&str, Json)>) -> Json {
+    let mut fields = vec![("ok", Json::Bool(true)), ("epoch", Json::Int(epoch as i64))];
+    fields.extend(extra);
+    Json::obj(fields)
+}
+
+/// Builds an `ok:false` response at `epoch` carrying the error message.
+pub fn err_response(epoch: u64, error: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("epoch", Json::Int(epoch as i64)),
+        ("error", Json::Str(error.into())),
+    ])
+}
+
+/// The epoch stamped on a response (all well-formed responses carry one).
+pub fn response_epoch(resp: &Json) -> Option<u64> {
+    resp.get("epoch").and_then(Json::as_u64)
+}
+
+/// Whether a response reports success.
+pub fn response_ok(resp: &Json) -> bool {
+    resp.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_json() {
+        let cases = vec![
+            Request::Dist { u: 0, v: 5 },
+            Request::Path { u: 3, v: 3 },
+            Request::Reach { u: 9, v: 1 },
+            Request::Mutate {
+                edges: vec![(0, 5, 12), (3, 4, TROPICAL_INF)],
+            },
+            Request::Status,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let back = Request::from_json(&req.to_json()).expect("parse");
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_name_the_offence() {
+        let bad = [
+            (Json::obj(vec![]), "missing string field 'op'"),
+            (
+                Json::obj(vec![("op", Json::Str("dist".into()))]),
+                "needs u32 field 'u'",
+            ),
+            (
+                Json::obj(vec![("op", Json::Str("teleport".into()))]),
+                "unknown op",
+            ),
+            (
+                Json::obj(vec![
+                    ("op", Json::Str("mutate".into())),
+                    ("edges", Json::Arr(vec![Json::Int(3)])),
+                ]),
+                "must be [u, v, w]",
+            ),
+        ];
+        for (msg, want) in bad {
+            let err = Request::from_json(&msg).expect_err("must reject");
+            assert!(err.contains(want), "{err:?} should mention {want:?}");
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        let msg = Request::Dist { u: 1, v: 2 }.to_json();
+        write_frame(&mut buf, &msg).unwrap();
+        write_frame(&mut buf, &Request::Status.to_json()).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(msg));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Request::Status.to_json()));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn torn_and_oversized_frames_are_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Status.to_json()).unwrap();
+        buf.truncate(buf.len() - 3); // torn body
+        assert!(read_frame(&mut &buf[..]).is_err());
+        let huge = (MAX_FRAME_BYTES + 1).to_be_bytes().to_vec();
+        assert!(read_frame(&mut &huge[..]).is_err());
+        // A torn length prefix is also an error (not silent EOF).
+        assert!(read_frame(&mut &[0u8, 0][..]).is_err());
+    }
+
+    #[test]
+    fn response_builders_carry_ok_and_epoch() {
+        let ok = ok_response(7, vec![("dist", Json::Int(4))]);
+        assert!(response_ok(&ok));
+        assert_eq!(response_epoch(&ok), Some(7));
+        assert_eq!(ok.get("dist").and_then(Json::as_i64), Some(4));
+        let err = err_response(3, "nope");
+        assert!(!response_ok(&err));
+        assert_eq!(response_epoch(&err), Some(3));
+        assert_eq!(err.get("error").and_then(Json::as_str), Some("nope"));
+    }
+}

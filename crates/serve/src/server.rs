@@ -1,0 +1,322 @@
+//! The TCP front end: thread-per-connection over [`ApspCache`].
+//!
+//! Hand-rolled on `std::net` — no async runtime, no framework. Each
+//! accepted connection gets a handler thread that loops
+//! read-frame → dispatch → write-frame until the peer closes or a
+//! `shutdown` request arrives. Point queries clone the cache's `Arc`
+//! snapshot and answer without ever blocking on a solve; the epoch in
+//! every response is the snapshot's, so clients can verify monotonicity.
+//!
+//! A small stats ticker republishes cache-derived gauges
+//! (`serve.cache_age_s`, `serve.batch_depth`, `serve.connections.open`)
+//! once per second so a flight-recorder [`gep_obs::Sampler`] attached to
+//! the process produces a live-readable JSONL stream for `repro watch`.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gep_matrix::Matrix;
+use gep_obs::Json;
+
+use crate::protocol::{err_response, ok_response, read_frame, write_frame, Request};
+use crate::state::ApspCache;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+        }
+    }
+}
+
+struct Shared {
+    cache: Arc<ApspCache>,
+    stop: AtomicBool,
+    /// Currently open client connections.
+    open: AtomicU64,
+    /// Total requests answered, by success.
+    served: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A running server: listener thread + per-connection handlers + stats
+/// ticker, all joined by [`Server::shutdown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    ticker_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Solves `base` (blocking: the server only accepts once epoch 1 is
+    /// ready) and starts listening on `config.addr`.
+    pub fn start(config: &ServerConfig, base: Matrix<i64>) -> std::io::Result<Arc<Server>> {
+        let listener = TcpListener::bind(resolve(&config.addr)?)?;
+        let local_addr = listener.local_addr()?;
+        let cache = ApspCache::new(base);
+        let shared = Arc::new(Shared {
+            cache,
+            stop: AtomicBool::new(false),
+            open: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        let server = Arc::new(Server {
+            shared: Arc::clone(&shared),
+            local_addr,
+            accept_thread: Mutex::new(None),
+            ticker_thread: Mutex::new(None),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("gep-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        *server.accept_thread.lock().unwrap() = Some(accept);
+
+        let ticker_shared = Arc::clone(&shared);
+        let ticker = std::thread::Builder::new()
+            .name("gep-serve-ticker".into())
+            .spawn(move || stats_ticker(ticker_shared))?;
+        *server.ticker_thread.lock().unwrap() = Some(ticker);
+
+        gep_obs::counter_add("serve.started", 1);
+        Ok(server)
+    }
+
+    /// The bound address (read the ephemeral port here in tests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Direct cache access for in-process oracle verification; network
+    /// clients see exactly these snapshots.
+    pub fn cache(&self) -> &Arc<ApspCache> {
+        &self.shared.cache
+    }
+
+    /// Whether a client has requested shutdown (or [`Server::shutdown`]
+    /// ran).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Blocks until a `shutdown` request arrives (the server binary's
+    /// main thread parks here).
+    pub fn wait_for_shutdown_request(&self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, finish the pending mutation
+    /// batch, stop the solver and ticker. In-flight connections see
+    /// their stream close. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            // Second caller still needs the join below to be complete,
+            // but the Mutex<Option<..>> take() makes joining one-shot
+            // and a concurrent second call simply finds None.
+        }
+        // The accept loop blocks in accept(); poke it with a throwaway
+        // connection so it observes the stop flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.ticker_thread.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        self.shared.cache.stop();
+    }
+
+    /// (served_ok, errors) so far.
+    pub fn request_totals(&self) -> (u64, u64) {
+        (
+            self.shared.served.load(Ordering::Relaxed),
+            self.shared.errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("address '{addr}' resolves to nothing"),
+        )
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            return; // the shutdown poke, or a straggler past it
+        }
+        gep_obs::counter_add("serve.connections", 1);
+        shared.open.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("gep-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &conn_shared);
+                conn_shared.open.fetch_sub(1, Ordering::Relaxed);
+            });
+    }
+}
+
+fn stats_ticker(shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::Acquire) {
+        publish_stats(&shared);
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    publish_stats(&shared); // final values for the flight file's flush
+}
+
+fn publish_stats(shared: &Shared) {
+    let snap = shared.cache.snapshot();
+    gep_obs::gauge_set("serve.cache_age_s", snap.solved_at.elapsed().as_secs_f64());
+    gep_obs::gauge_set("serve.epoch", snap.epoch as f64);
+    gep_obs::gauge_set("serve.batch_depth", shared.cache.batch_depth() as f64);
+    gep_obs::gauge_set(
+        "serve.connections.open",
+        shared.open.load(Ordering::Relaxed) as f64,
+    );
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_nodelay(true)?; // latency over throughput for tiny frames
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(frame) = read_frame(&mut reader)? {
+        if shared.stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let resp = match Request::from_json(&frame) {
+            Ok(req) => {
+                let resp = dispatch(&req, shared);
+                gep_obs::counter_add(
+                    match req.op_name() {
+                        "dist" => "serve.queries.dist",
+                        "path" => "serve.queries.path",
+                        "reach" => "serve.queries.reach",
+                        "mutate" => "serve.queries.mutate",
+                        "status" => "serve.queries.status",
+                        _ => "serve.queries.other",
+                    },
+                    1,
+                );
+                resp
+            }
+            Err(msg) => err_response(shared.cache.snapshot().epoch, &msg),
+        };
+        if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+            shared.served.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        write_frame(&mut writer, &resp)?;
+        if shared.stop.load(Ordering::Acquire) {
+            return Ok(()); // shutdown was this very request
+        }
+    }
+    Ok(())
+}
+
+fn dispatch(req: &Request, shared: &Shared) -> Json {
+    let snap = shared.cache.snapshot();
+    let epoch = snap.epoch;
+    let check = |u: u32, v: u32| -> Result<(usize, usize), Json> {
+        let (u, v) = (u as usize, v as usize);
+        if u < snap.n() && v < snap.n() {
+            Ok((u, v))
+        } else {
+            Err(err_response(
+                epoch,
+                &format!("vertex out of range (n={})", snap.n()),
+            ))
+        }
+    };
+    match req {
+        Request::Dist { u, v } => match check(*u, *v) {
+            Ok((u, v)) => ok_response(
+                epoch,
+                vec![("dist", snap.dist(u, v).map(Json::Int).unwrap_or(Json::Null))],
+            ),
+            Err(e) => e,
+        },
+        Request::Path { u, v } => match check(*u, *v) {
+            Ok((u, v)) => match snap.path(u, v) {
+                Some(p) => ok_response(
+                    epoch,
+                    vec![
+                        ("dist", snap.dist(u, v).map(Json::Int).unwrap_or(Json::Null)),
+                        (
+                            "path",
+                            Json::Arr(p.into_iter().map(|x| Json::Int(x as i64)).collect()),
+                        ),
+                    ],
+                ),
+                None => ok_response(epoch, vec![("dist", Json::Null), ("path", Json::Null)]),
+            },
+            Err(e) => e,
+        },
+        Request::Reach { u, v } => match check(*u, *v) {
+            Ok((u, v)) => ok_response(epoch, vec![("reach", Json::Bool(snap.reach(u, v)))]),
+            Err(e) => e,
+        },
+        Request::Mutate { edges } => match shared.cache.mutate(edges) {
+            Ok(depth) => ok_response(epoch, vec![("pending", Json::Int(depth as i64))]),
+            Err(msg) => err_response(epoch, &msg),
+        },
+        Request::Status => {
+            let stats = shared.cache.stats();
+            ok_response(
+                epoch,
+                vec![
+                    ("n", Json::Int(snap.n() as i64)),
+                    ("resolves", Json::Int(stats.resolves as i64)),
+                    (
+                        "mutations_applied",
+                        Json::Int(stats.mutations_applied as i64),
+                    ),
+                    ("batch_depth", Json::Int(shared.cache.batch_depth() as i64)),
+                    ("solve_s", Json::from_f64(snap.solve_s)),
+                    (
+                        "cache_age_s",
+                        Json::from_f64(snap.solved_at.elapsed().as_secs_f64()),
+                    ),
+                    (
+                        "served",
+                        Json::Int(shared.served.load(Ordering::Relaxed) as i64),
+                    ),
+                ],
+            )
+        }
+        Request::Shutdown => {
+            shared.stop.store(true, Ordering::Release);
+            ok_response(epoch, vec![("shutting_down", Json::Bool(true))])
+        }
+    }
+}

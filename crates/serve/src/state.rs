@@ -1,0 +1,386 @@
+//! Epoch-versioned APSP cache with mutation batching.
+//!
+//! The core trade the paper's framework makes profitable: one
+//! cache-oblivious I-GEP Floyd–Warshall solve (`Θ(n³)` work,
+//! `O(n³/(B√M))` misses) amortizes across millions of `O(1)` point
+//! lookups. [`ApspCache`] owns that amortization:
+//!
+//! * **Queries never block on a solve.** The published result is an
+//!   `Arc<Solved>` behind an `RwLock` held only long enough to clone the
+//!   `Arc`. Readers then work on an immutable snapshot; the background
+//!   solver swaps in a *new* `Arc` under a write lock held only for the
+//!   pointer swap.
+//! * **Epochs prove atomicity.** Each published solve carries an epoch,
+//!   strictly increasing from 1. A response stamped with epoch `e` was
+//!   computed entirely from solve `e` — there is no way to observe half
+//!   of epoch `e` and half of `e+1`, and any client will see epochs
+//!   monotone non-decreasing.
+//! * **Mutations batch.** Edge updates append to a buffer under a mutex
+//!   and wake the solver thread through a condvar. The solver drains the
+//!   *entire* buffer each wake, applies it to the base matrix, re-solves,
+//!   and swaps — so a burst of mutations costs one solve, not one each.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use gep_apps::floyd_warshall::{extract_path_pred, FwPredSpec, NO_PRED};
+use gep_apps::Weight;
+use gep_core::abcd::igep_opt;
+use gep_matrix::{next_pow2, Matrix};
+
+use crate::graph::apply_mutations;
+use crate::protocol::EdgeMut;
+
+/// Base-case size handed to the I-GEP engine (the `r` at which the
+/// recursion bottoms out into the iterative kernel).
+pub const SOLVE_BASE_SIZE: usize = 32;
+
+/// One immutable published solve.
+pub struct Solved {
+    /// Epoch number, strictly increasing from 1 per cache.
+    pub epoch: u64,
+    /// Logical vertex count (the matrix is padded to a power of two).
+    n: usize,
+    /// The FwPredSpec-solved `(dist, pred)` matrix, padded side.
+    mat: Matrix<(i64, u32)>,
+    /// Wall-clock seconds the solve took.
+    pub solve_s: f64,
+    /// When the solve finished (for cache-age gauges).
+    pub solved_at: Instant,
+}
+
+impl Solved {
+    /// Logical vertex count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest distance `u → v`, `None` when unreachable.
+    pub fn dist(&self, u: usize, v: usize) -> Option<i64> {
+        let d = self.mat[(u, v)].0;
+        (d < <i64 as Weight>::INFINITY).then_some(d)
+    }
+
+    /// Whether `v` is reachable from `u`.
+    pub fn reach(&self, u: usize, v: usize) -> bool {
+        self.mat[(u, v)].0 < <i64 as Weight>::INFINITY
+    }
+
+    /// One shortest path `u → v` as a vertex sequence (inclusive), via
+    /// the predecessor matrix. `None` when unreachable.
+    pub fn path(&self, u: usize, v: usize) -> Option<Vec<usize>> {
+        extract_path_pred(&self.mat, u, v)
+    }
+
+    /// The raw solved matrix (oracle verification in tests/experiments).
+    pub fn matrix(&self) -> &Matrix<(i64, u32)> {
+        &self.mat
+    }
+}
+
+/// Runs the padded I-GEP FwPredSpec solve for an `n`-vertex base matrix.
+fn solve(base: &Matrix<i64>) -> (Matrix<(i64, u32)>, f64) {
+    let n = base.n();
+    let padded = next_pow2(n.max(1));
+    let mut c = Matrix::from_fn(padded, padded, |i, j| {
+        if i == j {
+            (0i64, NO_PRED)
+        } else if i < n && j < n {
+            let w = base.get(i, j);
+            if w < <i64 as Weight>::INFINITY {
+                (w, i as u32)
+            } else {
+                (<i64 as Weight>::INFINITY, NO_PRED)
+            }
+        } else {
+            (<i64 as Weight>::INFINITY, NO_PRED)
+        }
+    });
+    let t0 = Instant::now();
+    igep_opt(&FwPredSpec, &mut c, SOLVE_BASE_SIZE.min(padded));
+    (c, t0.elapsed().as_secs_f64())
+}
+
+/// What the solver thread shares with the front end.
+struct Pending {
+    /// The authoritative base (un-solved) distance matrix; mutations
+    /// apply here before each re-solve.
+    base: Matrix<i64>,
+    /// Accumulated, not-yet-solved mutations.
+    batch: Vec<EdgeMut>,
+    /// Set by [`ApspCache::stop`]; the solver drains and exits.
+    stop: bool,
+}
+
+/// Lifetime counters, snapshotted by status responses and the stats
+/// ticker.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Background re-solves completed (excludes the initial solve).
+    pub resolves: u64,
+    /// Total mutations ever folded into a published epoch.
+    pub mutations_applied: u64,
+}
+
+/// The epoch-versioned cache plus its background solver thread.
+pub struct ApspCache {
+    current: RwLock<Arc<Solved>>,
+    pending: Mutex<Pending>,
+    wake: Condvar,
+    stats: Mutex<CacheStats>,
+    /// Batches taken off the buffer (a solve is in flight whenever this
+    /// exceeds `stats.resolves`).
+    started: AtomicU64,
+    solver: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ApspCache {
+    /// Solves `base` synchronously (epoch 1) and starts the background
+    /// solver thread.
+    pub fn new(base: Matrix<i64>) -> Arc<ApspCache> {
+        assert!(base.is_square(), "base distance matrix must be square");
+        let n = base.n();
+        let (mat, solve_s) = solve(&base);
+        gep_obs::gauge_set("serve.resolve_s", solve_s);
+        gep_obs::gauge_set("serve.epoch", 1.0);
+        let cache = Arc::new(ApspCache {
+            current: RwLock::new(Arc::new(Solved {
+                epoch: 1,
+                n,
+                mat,
+                solve_s,
+                solved_at: Instant::now(),
+            })),
+            pending: Mutex::new(Pending {
+                base,
+                batch: Vec::new(),
+                stop: false,
+            }),
+            wake: Condvar::new(),
+            stats: Mutex::new(CacheStats::default()),
+            started: AtomicU64::new(0),
+            solver: Mutex::new(None),
+        });
+        let worker = Arc::clone(&cache);
+        let handle = std::thread::Builder::new()
+            .name("gep-serve-solver".into())
+            .spawn(move || worker.solver_loop())
+            .expect("spawn solver thread");
+        *cache.solver.lock().unwrap() = Some(handle);
+        cache
+    }
+
+    /// The currently published solve. Cheap: one read lock + Arc clone.
+    pub fn snapshot(&self) -> Arc<Solved> {
+        Arc::clone(&self.current.read().unwrap())
+    }
+
+    /// Appends a mutation batch and wakes the solver. Returns the batch
+    /// depth (pending mutations) after the append. Endpoints are
+    /// validated against the graph size here, so the solver thread can
+    /// assume well-formed batches.
+    pub fn mutate(&self, edges: &[EdgeMut]) -> Result<usize, String> {
+        let n = self.snapshot().n();
+        for &(u, v, _) in edges {
+            if u as usize >= n || v as usize >= n {
+                return Err(format!("edge ({u}, {v}) out of range for n={n}"));
+            }
+        }
+        let mut pending = self.pending.lock().unwrap();
+        pending.batch.extend_from_slice(edges);
+        let depth = pending.batch.len();
+        gep_obs::counter_add("serve.mutations", edges.len() as u64);
+        gep_obs::gauge_set("serve.batch_depth", depth as f64);
+        self.wake.notify_one();
+        Ok(depth)
+    }
+
+    /// Pending (accepted, not yet picked up) mutation count.
+    pub fn batch_depth(&self) -> usize {
+        self.pending.lock().unwrap().batch.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().unwrap()
+    }
+
+    /// Blocks until every mutation accepted before this call has been
+    /// folded into a published epoch. Test/experiment aid; the serving
+    /// path never calls it.
+    pub fn quiesce(&self) {
+        loop {
+            let drained = self.pending.lock().unwrap().batch.is_empty();
+            let in_flight =
+                self.started.load(Ordering::Acquire) > self.stats.lock().unwrap().resolves;
+            if drained && !in_flight {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Stops the solver thread (drains any pending batch first, so every
+    /// accepted mutation is published before shutdown).
+    pub fn stop(&self) {
+        {
+            let mut pending = self.pending.lock().unwrap();
+            pending.stop = true;
+            self.wake.notify_one();
+        }
+        if let Some(handle) = self.solver.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn solver_loop(&self) {
+        loop {
+            let (batch, base) = {
+                let mut pending = self.pending.lock().unwrap();
+                while pending.batch.is_empty() && !pending.stop {
+                    pending = self.wake.wait(pending).unwrap();
+                }
+                if pending.batch.is_empty() && pending.stop {
+                    return;
+                }
+                let batch = std::mem::take(&mut pending.batch);
+                self.started.fetch_add(1, Ordering::AcqRel);
+                gep_obs::gauge_set("serve.batch_depth", 0.0);
+                apply_mutations(&mut pending.base, &batch);
+                // Solve from a clone so the mutex is not held across the
+                // n³ solve (new mutations keep batching meanwhile).
+                (batch, pending.base.clone())
+            };
+            let (mat, solve_s) = solve(&base);
+            let epoch = {
+                let mut current = self.current.write().unwrap();
+                let epoch = current.epoch + 1;
+                *current = Arc::new(Solved {
+                    epoch,
+                    n: base.n(),
+                    mat,
+                    solve_s,
+                    solved_at: Instant::now(),
+                });
+                epoch
+            };
+            {
+                let mut stats = self.stats.lock().unwrap();
+                stats.resolves += 1;
+                stats.mutations_applied += batch.len() as u64;
+            }
+            gep_obs::counter_add("serve.resolves", 1);
+            gep_obs::gauge_set("serve.epoch", epoch as f64);
+            gep_obs::gauge_set("serve.resolve_s", solve_s);
+        }
+    }
+}
+
+impl Drop for ApspCache {
+    fn drop(&mut self) {
+        // `stop()` is idempotent (the join handle is take()n), so a
+        // second call after explicit shutdown is a no-op. The solver
+        // thread holds its own Arc, so this only runs once it has
+        // already exited.
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{random_graph, random_mutations};
+    use gep_apps::reference::fw_reference;
+
+    #[test]
+    fn initial_solve_matches_reference() {
+        let base = random_graph(20, 11);
+        let oracle = fw_reference(&base);
+        let cache = ApspCache::new(base);
+        let snap = cache.snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.n(), 20);
+        for i in 0..20 {
+            for j in 0..20 {
+                let want = oracle.get(i, j);
+                let got = snap.dist(i, j);
+                if want >= <i64 as Weight>::INFINITY {
+                    assert_eq!(got, None, "({i},{j}) should be unreachable");
+                } else {
+                    assert_eq!(got, Some(want), "({i},{j})");
+                }
+            }
+        }
+        cache.stop();
+    }
+
+    #[test]
+    fn one_mutate_call_triggers_exactly_one_resolve() {
+        let base = random_graph(16, 3);
+        let cache = ApspCache::new(base.clone());
+        let muts = random_mutations(16, 24, 5);
+        cache.mutate(&muts).unwrap();
+        cache.quiesce();
+        let snap = cache.snapshot();
+        assert_eq!(snap.epoch, 2, "one batch, one swap");
+        assert_eq!(cache.stats().resolves, 1);
+        assert_eq!(cache.stats().mutations_applied, 24);
+
+        // Post-swap answers bit-match an independent from-scratch oracle.
+        let mut mutated = base;
+        apply_mutations(&mut mutated, &muts);
+        let oracle = fw_reference(&mutated);
+        for i in 0..16 {
+            for j in 0..16 {
+                let want = oracle.get(i, j);
+                let got = snap.dist(i, j).unwrap_or(<i64 as Weight>::INFINITY);
+                assert_eq!(got, want.min(<i64 as Weight>::INFINITY), "({i},{j})");
+            }
+        }
+        cache.stop();
+    }
+
+    #[test]
+    fn out_of_range_mutations_are_rejected_whole() {
+        let cache = ApspCache::new(random_graph(8, 1));
+        let err = cache.mutate(&[(0, 1, 5), (0, 8, 5)]).unwrap_err();
+        assert!(err.contains("out of range"));
+        assert_eq!(cache.batch_depth(), 0, "rejected batch leaves no residue");
+        cache.quiesce();
+        assert_eq!(cache.snapshot().epoch, 1, "no solve for a rejected batch");
+        cache.stop();
+    }
+
+    #[test]
+    fn paths_walk_real_edges_of_the_mutated_graph() {
+        let base = random_graph(12, 9);
+        let cache = ApspCache::new(base.clone());
+        let muts = random_mutations(12, 10, 2);
+        cache.mutate(&muts).unwrap();
+        cache.quiesce();
+        let snap = cache.snapshot();
+        let mut mutated = base;
+        apply_mutations(&mut mutated, &muts);
+        for u in 0..12 {
+            for v in 0..12 {
+                match snap.path(u, v) {
+                    None => assert!(!snap.reach(u, v)),
+                    Some(p) => {
+                        assert_eq!(p[0], u);
+                        assert_eq!(*p.last().unwrap(), v);
+                        let total: i64 = p
+                            .windows(2)
+                            .map(|e| mutated.get(e[0], e[1]))
+                            .fold(0, |acc: i64, w| acc.wadd(w));
+                        assert_eq!(Some(total).filter(|&d| d < TROPICAL_INF_L), snap.dist(u, v));
+                    }
+                }
+            }
+        }
+        cache.stop();
+    }
+
+    const TROPICAL_INF_L: i64 = gep_core::algebra::TROPICAL_INF;
+}
