@@ -22,7 +22,11 @@
 //! box shape, cross-checked exactly against the §3 recurrences.
 //! `--flight <path>` streams a flight-recorder JSONL file during any
 //! experiment; `watch <path>` tails such a file (from another process)
-//! and renders live progress/ETA. See docs/OBSERVABILITY.md.
+//! and renders live progress/ETA plus any structured events
+//! (`slow_request` lines from a serving run) as they appear.
+//! `watch --addr HOST:PORT` instead polls a live `gep-serve` over TCP via
+//! the `metrics` op — no flight file needed. `slo` runs the deterministic
+//! serving-SLO gate and emits `BENCH_slo.json`. See docs/OBSERVABILITY.md.
 
 use gep_bench::experiments::*;
 use gep_bench::{compare, jsonout, trajectory};
@@ -108,14 +112,93 @@ fn progress_line(log: &gep_obs::FlightLog) -> (Option<i64>, String) {
     (seq, line)
 }
 
+/// One rendered line per structured flight event; `slow_request` gets its
+/// trace/op/epoch/total called out, anything else prints its name.
+fn event_line(ev: &Json) -> String {
+    let name = ev.get("event").and_then(Json::as_str).unwrap_or("?");
+    if name == "slow_request" {
+        let s = |k: &str| ev.get(k).and_then(Json::as_str).unwrap_or("?");
+        let i = |k: &str| ev.get(k).and_then(Json::as_u64).unwrap_or(0);
+        return format!(
+            "slow_request trace={} op={} epoch={} total {:.2}ms",
+            s("trace"),
+            s("op"),
+            i("epoch"),
+            i("total_ns") as f64 / 1e6
+        );
+    }
+    format!("event {name}")
+}
+
+/// `repro watch --addr HOST:PORT`: polls a live `gep-serve` over TCP via
+/// the `metrics` op and renders one line per scrape — no flight file (or
+/// filesystem access to the server) required.
+fn watch_addr(addr: &str, once: bool) {
+    use std::net::ToSocketAddrs;
+    let Some(addr) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+        eprintln!("watch: address '{addr}' does not resolve");
+        std::process::exit(2);
+    };
+    loop {
+        match gep_serve::loadgen::scrape_metrics(addr) {
+            Ok(doc) => {
+                let counter = |name: &str| {
+                    doc.get("counters")
+                        .and_then(|c| c.get(name))
+                        .and_then(Json::as_u64)
+                };
+                let gauge = |name: &str| {
+                    doc.get("gauges")
+                        .and_then(|g| g.get(name))
+                        .and_then(Json::as_gauge)
+                };
+                let mut line = String::from("serve:");
+                if let Some(epoch) = gauge("serve.epoch") {
+                    line += &format!(" epoch {epoch:.0}");
+                }
+                if let Some(served) = counter("serve.requests.served") {
+                    line += &format!("  served {served}");
+                }
+                if let Some(p99) = gep_obs::exposition_hist_stat(&doc, "serve.req_ns.dist", "p99") {
+                    line += &format!("  dist p99 {:.1}us", p99 as f64 / 1e3);
+                }
+                if let Some(depth) = gauge("serve.batch_depth") {
+                    line += &format!("  batch {depth:.0}");
+                }
+                if let Some(open) = gauge("serve.connections.open") {
+                    line += &format!("  conns {open:.0}");
+                }
+                if let Some(slow) = counter("serve.requests.slow") {
+                    line += &format!("  slow {slow}");
+                }
+                println!("[scrape] {line}");
+            }
+            Err(e) => println!("waiting: {e}"),
+        }
+        if once {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(1));
+    }
+}
+
 /// `repro watch <file>`: tails a flight-recorder file written by another
-/// process (`--flight`) and renders live progress. Stops at 100%, on
-/// `--once` after the first read, or on ctrl-C.
+/// process (`--flight`) and renders live progress, plus structured events
+/// (slow-request lines) as they land. Stops at 100%, on `--once` after
+/// the first read, or on ctrl-C.
 fn watch(path: &std::path::Path, once: bool) {
     let mut last_seq = None;
+    let mut last_event_seq = i64::MIN;
     loop {
         match gep_obs::read_flight_file(path) {
             Ok(log) => {
+                for ev in &log.events {
+                    let seq = ev.get("seq").and_then(Json::as_i64).unwrap_or(i64::MIN);
+                    if seq > last_event_seq {
+                        println!("[#{seq}] {}", event_line(ev));
+                        last_event_seq = seq;
+                    }
+                }
                 let (seq, line) = progress_line(&log);
                 if seq != last_seq || seq.is_none() {
                     println!(
@@ -250,6 +333,7 @@ fn main() {
         "profile",
         "resume",
         "serve",
+        "slo",
         "tune",
         "compare",
         "validate",
@@ -306,11 +390,19 @@ fn main() {
     }
 
     if what == "watch" {
+        let once = args.iter().any(|a| a == "--once");
+        if let Some(i) = args.iter().position(|a| a == "--addr") {
+            let Some(addr) = args.get(i + 1) else {
+                eprintln!("usage: repro watch --addr HOST:PORT [--once]");
+                std::process::exit(2);
+            };
+            watch_addr(addr, once);
+            return;
+        }
         let Some(path) = positional.get(1) else {
-            eprintln!("usage: repro watch <flight-file> [--once]");
+            eprintln!("usage: repro watch <flight-file> [--once] | repro watch --addr HOST:PORT");
             std::process::exit(2);
         };
-        let once = args.iter().any(|a| a == "--once");
         watch(std::path::Path::new(path), once);
         return;
     }
@@ -964,6 +1056,67 @@ fn main() {
         emit(&d);
         if !outcome.oracle_match || outcome.epoch_regressions > 0 || outcome.errors > 0 {
             eprintln!("error: serving run failed verification (oracle/epochs/errors)");
+            std::process::exit(1);
+        }
+    }
+    if run("slo") {
+        // Like serve: a full recorder so the scrape (and flight sampler,
+        // when active) sees the serve.* gauges alongside the server's own
+        // per-op/per-phase histograms.
+        if json || flight_active {
+            gep_obs::install(gep_obs::Recorder::new());
+        }
+        let outcome = slo::slo(quick);
+        slo::print_slo(&outcome);
+        let mut d = BenchDoc::new(
+            "slo",
+            "Serving SLO gate: telemetry accounting, exposition health, mutation freshness",
+            quick,
+        );
+        // Counts, epochs and boolean verdicts are pure functions of
+        // (n, seed, workers, rounds) — gated exactly. The `_ns`
+        // magnitudes are wall-clock and ride along informationally.
+        d.row(vec![
+            ("n", inum(outcome.n as u64)),
+            ("threads", inum(outcome.workers as u64)),
+            ("requests", inum(outcome.requests)),
+            ("errors", inum(outcome.errors)),
+            ("epoch_final", inum(outcome.epoch_final)),
+            ("resolves", inum(outcome.resolves)),
+            ("mutations", inum(outcome.mutations)),
+            ("epoch_regressions", inum(outcome.epoch_regressions)),
+            ("staleness_samples", inum(outcome.staleness_samples)),
+            ("slo_pass", Json::Bool(outcome.slo_pass)),
+            ("exposition_valid", Json::Bool(outcome.exposition_valid)),
+            (
+                "server_counts_match",
+                Json::Bool(outcome.server_counts_match),
+            ),
+            ("phases_complete", Json::Bool(outcome.phases_complete)),
+            ("p99_dist_server_ns", inum(outcome.p99_dist_server_ns)),
+            ("staleness_max_ns", inum(outcome.staleness_max_ns)),
+            ("staleness_p50_ns", inum(outcome.staleness_p50_ns)),
+            ("queue_wait_max_ns", inum(outcome.queue_wait_max_ns)),
+            ("batch_drain_max_ns", inum(outcome.batch_drain_max_ns)),
+        ]);
+        for (op, count) in &outcome.op_counts {
+            d.counter(&format!("serve.loadgen.{op}.requests"), *count);
+        }
+        for (op, hist) in &outcome.latency_ns {
+            d.histogram(&format!("serve.client_latency_ns.{op}"), hist);
+        }
+        for (name, hist) in &outcome.server_hists {
+            d.histogram(name, hist);
+        }
+        if let Some(rec) = gep_obs::take() {
+            for (k, v) in &rec.counters {
+                d.counter(k, *v);
+            }
+            reinstall(rec);
+        }
+        emit(&d);
+        if !outcome.slo_pass {
+            eprintln!("error: SLO gate failed (see verdicts above)");
             std::process::exit(1);
         }
     }

@@ -93,6 +93,17 @@ pub fn tolerance_for(field: &str) -> Tolerance {
             informational: true,
         };
     }
+    if field.ends_with("_share") {
+        // Derived latency fractions (e.g. the loadgen's network+queue
+        // share of client p99): ratios of wall-clock measurements, so
+        // report drift, never gate.
+        return Tolerance {
+            rel: 1.0,
+            direction: Direction::LowerIsBetter,
+            noisy: true,
+            informational: true,
+        };
+    }
     if field.ends_with("_s") || field == "seconds" || field.ends_with("gflops") {
         return Tolerance {
             rel: 0.5,
@@ -411,8 +422,14 @@ mod tests {
         let t = tolerance_for("p99_ns");
         assert!(t.informational && t.noisy);
         assert_eq!(t.direction, Direction::LowerIsBetter);
+        let t = tolerance_for("net_queue_share");
+        assert!(t.informational && t.noisy, "latency shares never gate");
         assert_eq!(tolerance_for("epoch_regressions").rel, 0.0);
         assert!(!tolerance_for("requests").informational);
+        assert!(
+            !tolerance_for("slo_pass").informational,
+            "SLO verdicts gate exactly"
+        );
     }
 
     fn doc(rows: Vec<Vec<(&str, Json)>>) -> Json {

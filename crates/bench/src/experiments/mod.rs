@@ -13,5 +13,6 @@ pub mod misses;
 pub mod profile;
 pub mod resume;
 pub mod serve;
+pub mod slo;
 pub mod theory;
 pub mod tune;

@@ -1,0 +1,235 @@
+//! Live metrics exposition: the scrapeable JSON document a running
+//! process answers with when asked for its metrics *right now*.
+//!
+//! The flight recorder ([`crate::sampler`]) streams periodic snapshots
+//! to a file — great for post-hoc analysis, useless for a client that
+//! only has a TCP connection. The exposition closes that gap: one
+//! self-describing JSON object carrying the full metric state (counters,
+//! gauges, histogram quantiles *and* sparse buckets), versioned like
+//! every other on-disk/wire format in the workspace so readers can
+//! reject what they don't understand. `gep-serve`'s `metrics` op,
+//! `loadgen --scrape`, `repro watch --addr` and the CI smoke job all
+//! speak this format.
+//!
+//! ## Format (version 1)
+//!
+//! ```text
+//! {
+//!   "kind": "gep-metrics",
+//!   "schema_version": 1,
+//!   "counters":   {"serve.requests.served": 1234, ...},
+//!   "gauges":     {"serve.epoch": 2.0, ...},
+//!   "histograms": {"serve.req_ns.dist": {"count":..,"max":..,"p50":..,
+//!                                        "p90":..,"p99":..,"buckets":[[lo,c],..]},
+//!                  ...}
+//! }
+//! ```
+//!
+//! Histogram values use the same serialization as the bench schema
+//! ([`Histogram::to_json`]), so bucket counts always sum to `count` and
+//! any quantile can be re-derived by a reader.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+use crate::json::Json;
+
+/// The `kind` tag of an exposition document.
+pub const EXPOSITION_KIND: &str = "gep-metrics";
+
+/// Exposition format version.
+pub const EXPOSITION_SCHEMA_VERSION: i64 = 1;
+
+/// Builds a version-1 exposition document from metric maps.
+pub fn exposition(
+    counters: &BTreeMap<String, u64>,
+    gauges: &BTreeMap<String, f64>,
+    hists: &BTreeMap<String, Histogram>,
+) -> Json {
+    Json::obj(vec![
+        ("kind", Json::Str(EXPOSITION_KIND.into())),
+        ("schema_version", Json::Int(EXPOSITION_SCHEMA_VERSION)),
+        (
+            "counters",
+            Json::Obj(
+                counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Obj(
+                gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::from_f64(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Json::Obj(
+                hists
+                    .iter()
+                    .map(|(k, h)| (k.clone(), h.to_json()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Validates an exposition document: kind/version header, counter and
+/// gauge value types, and internally consistent histograms (summary
+/// fields present, bucket counts summing to `count`). Scrapers run this
+/// before trusting anything inside.
+pub fn validate_exposition(doc: &Json) -> Result<(), String> {
+    if doc.get("kind").and_then(Json::as_str) != Some(EXPOSITION_KIND) {
+        return Err(format!("not a {EXPOSITION_KIND} document"));
+    }
+    match doc.get("schema_version").and_then(Json::as_i64) {
+        Some(v) if v == EXPOSITION_SCHEMA_VERSION => {}
+        Some(v) => return Err(format!("unsupported exposition schema_version {v}")),
+        None => return Err("missing integer schema_version".into()),
+    }
+    let section = |name: &str| -> Result<&Vec<(String, Json)>, String> {
+        match doc.get(name) {
+            Some(Json::Obj(fields)) => Ok(fields),
+            _ => Err(format!("missing object '{name}'")),
+        }
+    };
+    for (k, v) in section("counters")? {
+        match v.as_i64() {
+            Some(c) if c >= 0 => {}
+            _ => return Err(format!("counter '{k}' is not a non-negative integer")),
+        }
+    }
+    for (k, v) in section("gauges")? {
+        if v.as_gauge().is_none() {
+            return Err(format!("gauge '{k}' is not numeric"));
+        }
+    }
+    for (k, v) in section("histograms")? {
+        validate_histogram(k, v)?;
+    }
+    Ok(())
+}
+
+fn validate_histogram(name: &str, h: &Json) -> Result<(), String> {
+    let int = |field: &str| -> Result<i64, String> {
+        h.get(field)
+            .and_then(Json::as_i64)
+            .filter(|v| *v >= 0)
+            .ok_or_else(|| format!("histogram '{name}' missing non-negative integer '{field}'"))
+    };
+    let count = int("count")?;
+    for field in ["max", "p50", "p90", "p99"] {
+        int(field)?;
+    }
+    let buckets = h
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("histogram '{name}' missing buckets array"))?;
+    let mut total = 0i64;
+    for b in buckets {
+        match b.as_arr() {
+            Some(pair) if pair.len() == 2 => {
+                let c = pair[1]
+                    .as_i64()
+                    .filter(|c| *c > 0)
+                    .ok_or_else(|| format!("histogram '{name}' bucket count not positive"))?;
+                total += c;
+            }
+            _ => {
+                return Err(format!(
+                    "histogram '{name}' bucket is not a [lo, count] pair"
+                ))
+            }
+        }
+    }
+    if total != count {
+        return Err(format!(
+            "histogram '{name}': bucket counts sum to {total}, count says {count}"
+        ));
+    }
+    Ok(())
+}
+
+/// Convenience reader: summary statistic `stat` (`count`/`max`/`p50`/
+/// `p90`/`p99`) of histogram `hist` in an exposition document.
+pub fn exposition_hist_stat(doc: &Json, hist: &str, stat: &str) -> Option<i64> {
+    doc.get("histograms")?.get(hist)?.get(stat)?.as_i64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> Json {
+        let mut counters = BTreeMap::new();
+        counters.insert("reqs".to_string(), 7u64);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("epoch".to_string(), 2.0);
+        let mut hists = BTreeMap::new();
+        let mut h = Histogram::new();
+        for v in [3u64, 5, 900] {
+            h.record(v);
+        }
+        hists.insert("lat_ns".to_string(), h);
+        exposition(&counters, &gauges, &hists)
+    }
+
+    #[test]
+    fn exposition_round_trips_through_text_and_validates() {
+        let doc = sample_doc();
+        validate_exposition(&doc).expect("fresh exposition is valid");
+        let mut text = String::new();
+        doc.write_into(&mut text);
+        let parsed = Json::parse(&text).expect("parses");
+        validate_exposition(&parsed).expect("parsed exposition is valid");
+        assert_eq!(exposition_hist_stat(&parsed, "lat_ns", "count"), Some(3));
+        assert_eq!(exposition_hist_stat(&parsed, "lat_ns", "max"), Some(900));
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("reqs"))
+                .and_then(Json::as_i64),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn validator_rejects_header_and_consistency_violations() {
+        // Wrong kind.
+        let mut wrong_kind = sample_doc();
+        if let Json::Obj(fields) = &mut wrong_kind {
+            fields[0].1 = Json::Str("other".into());
+        }
+        assert!(validate_exposition(&wrong_kind).is_err());
+        // Future version.
+        let mut wrong_version = sample_doc();
+        if let Json::Obj(fields) = &mut wrong_version {
+            fields[1].1 = Json::Int(99);
+        }
+        assert!(validate_exposition(&wrong_version).is_err());
+        // Bucket counts that do not sum to `count`.
+        let mut text = String::new();
+        sample_doc().write_into(&mut text);
+        let tampered = text.replace("\"count\":3", "\"count\":4");
+        let doc = Json::parse(&tampered).unwrap();
+        let err = validate_exposition(&doc).unwrap_err();
+        assert!(err.contains("bucket counts"), "{err}");
+        // Missing histograms section entirely.
+        let doc = Json::parse(
+            "{\"kind\":\"gep-metrics\",\"schema_version\":1,\"counters\":{},\"gauges\":{}}",
+        )
+        .unwrap();
+        assert!(validate_exposition(&doc).is_err());
+    }
+
+    #[test]
+    fn empty_metric_maps_are_a_valid_exposition() {
+        let doc = exposition(&BTreeMap::new(), &BTreeMap::new(), &BTreeMap::new());
+        validate_exposition(&doc).expect("empty exposition is valid");
+    }
+}

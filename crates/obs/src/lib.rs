@@ -14,8 +14,13 @@
 //! * [`hist`] — the mergeable power-of-two-bucketed [`Histogram`] behind
 //!   the p50/p90/p99/max latency metrics (kernel leaves, extmem I/O).
 //! * [`sampler`] — the flight recorder: a background [`Sampler`] that
-//!   streams periodic counter/gauge snapshots to a crash-durable JSONL
-//!   file, tailed live by `repro watch`.
+//!   streams periodic counter/gauge snapshots — plus structured
+//!   [`flight_event`] lines such as slow-request logs — to a
+//!   crash-durable JSONL file, tailed live by `repro watch`.
+//! * [`expose`] — the live metrics exposition: one self-describing JSON
+//!   document (counters, gauges, histogram quantiles and buckets) a
+//!   running process answers scrapes with; `gep-serve`'s `metrics` op,
+//!   `loadgen --scrape` and `repro watch --addr` all speak it.
 //! * [`json`] — a small self-contained JSON value type, writer and parser
 //!   (the workspace deliberately has no serde_json dependency).
 //! * [`chrome`] — exports recorded spans as Chrome trace-event JSON,
@@ -43,6 +48,7 @@
 
 pub mod bench;
 pub mod chrome;
+pub mod expose;
 pub mod hist;
 pub mod json;
 pub mod recorder;
@@ -51,11 +57,12 @@ pub mod summary;
 
 pub use bench::BenchDoc;
 pub use chrome::{check_well_nested, chrome_trace, chrome_trace_string};
+pub use expose::{exposition, exposition_hist_stat, validate_exposition};
 pub use hist::Histogram;
 pub use json::Json;
 pub use recorder::{
-    counter_add, enabled, gauge_set, hist_record, install, span, spans_enabled, take, Recorder,
-    SpanGuard, SpanRecord,
+    counter_add, enabled, gauge_set, hist_record, install, metrics_snapshot, span, spans_enabled,
+    take, MetricsSnapshot, Recorder, SpanGuard, SpanRecord,
 };
-pub use sampler::{read_flight_file, FlightLog, Sample, Sampler, SamplerConfig};
+pub use sampler::{flight_event, read_flight_file, FlightLog, Sample, Sampler, SamplerConfig};
 pub use summary::summary;

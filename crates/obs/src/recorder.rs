@@ -185,6 +185,32 @@ pub(crate) fn snapshot_for_sampler() -> Option<(BTreeMap<String, u64>, BTreeMap<
         .map(|r| (r.counters.clone(), r.gauges.clone()))
 }
 
+/// A point-in-time clone of the installed recorder's metric state —
+/// counters, gauges and histograms. Spans are trace data, not metrics,
+/// and stay out: a deep recursion's span vector can be gigabytes.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub hists: BTreeMap<String, Histogram>,
+}
+
+/// Snapshots the installed recorder's metrics without uninstalling it
+/// (unlike [`take`], recording continues). This is how a live process
+/// exposes its metrics on demand — the `gep-serve` `metrics` op builds
+/// its exposition from here. The clone happens under the sink mutex;
+/// callers serialize outside it. `None` when no recorder is installed.
+pub fn metrics_snapshot() -> Option<MetricsSnapshot> {
+    if !enabled() {
+        return None;
+    }
+    sink().as_ref().map(|r| MetricsSnapshot {
+        counters: r.counters.clone(),
+        gauges: r.gauges.clone(),
+        hists: r.hists.clone(),
+    })
+}
+
 /// Records one sample into the named histogram. No-op when disabled
 /// (one relaxed atomic load, like [`counter_add`]).
 pub fn hist_record(name: &str, value: u64) {

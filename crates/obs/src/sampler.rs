@@ -20,17 +20,24 @@
 //!   renders live progress/ETA from the `progress.*` gauges that
 //!   `gep_extmem::run_checkpointed` publishes per leaf step.
 //!
-//! ## File format (version 1)
+//! ## File format (version 2)
 //!
 //! ```text
-//! {"kind":"gep-flight-recorder","schema_version":1,"period_ms":250}
+//! {"kind":"gep-flight-recorder","schema_version":2,"period_ms":250}
 //! {"seq":1,"elapsed_s":0.25,"counters":{...},"gauges":{...}}
-//! {"seq":2,"elapsed_s":0.50,"counters":{...},"gauges":{...}}
+//! {"seq":2,"elapsed_s":0.31,"event":"slow_request","op":"dist",...}
+//! {"seq":3,"elapsed_s":0.50,"counters":{...},"gauges":{...}}
 //! ```
 //!
-//! The first line is the header; every later line is one sample with a
-//! strictly increasing `seq`. Counters are integers, gauges go through
-//! [`Json::from_f64`] so non-finite values survive as sentinel strings.
+//! The first line is the header; every later line is either one periodic
+//! sample or one structured **event** (distinguished by its `"event"`
+//! field), interleaved in emission order under one strictly increasing
+//! `seq`. Events are how a process flags notable moments — `gep-serve`'s
+//! slow-request log emits one per over-threshold request via
+//! [`flight_event`] — without waiting for the next sampling tick.
+//! Counters are integers, gauges go through [`Json::from_f64`] so
+//! non-finite values survive as sentinel strings. Version-1 files
+//! (samples only) remain readable.
 
 use crate::json::Json;
 use std::collections::{BTreeMap, VecDeque};
@@ -41,7 +48,10 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Flight-recorder file format version, written into the header line.
-pub const FLIGHT_SCHEMA_VERSION: i64 = 1;
+pub const FLIGHT_SCHEMA_VERSION: i64 = 2;
+
+/// Oldest file format version [`read_flight_file`] still accepts.
+pub const FLIGHT_MIN_SCHEMA_VERSION: i64 = 1;
 
 /// The `kind` tag of the header line.
 pub const FLIGHT_KIND: &str = "gep-flight-recorder";
@@ -122,6 +132,10 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// The sampler (if any) that [`flight_event`] appends events through.
+/// Registered by [`Sampler::start`], cleared when that sampler stops.
+static EVENT_SINK: Mutex<Option<Arc<Shared>>> = Mutex::new(None);
+
 impl Shared {
     /// Takes one sample if a recorder is installed; returns whether a
     /// line was written.
@@ -135,6 +149,10 @@ impl Shared {
                 None => return false,
             }
         };
+        // The file lock is taken *before* the seq is allocated (here and
+        // in write_event) so file order always matches seq order — the
+        // reader rejects out-of-order seqs as interior corruption.
+        let mut f = lock(&self.file);
         let seq = {
             let mut s = lock(&self.seq);
             *s += 1;
@@ -156,12 +174,52 @@ impl Shared {
             }
             ring.push_back(sample);
         }
-        let mut f = lock(&self.file);
         // One complete line per write, flushed immediately: the tail of
         // the file survives a process kill up to the last full sample.
         let _ = f.write_all(line.as_bytes());
         let _ = f.flush();
         true
+    }
+
+    /// Appends one structured event line (same seq space as samples).
+    fn write_event(&self, event: &str, fields: Vec<(String, Json)>) {
+        let mut f = lock(&self.file);
+        let seq = {
+            let mut s = lock(&self.seq);
+            *s += 1;
+            *s
+        };
+        let mut obj = vec![
+            ("seq".to_string(), Json::Int(seq as i64)),
+            (
+                "elapsed_s".to_string(),
+                Json::Float(self.epoch.elapsed().as_secs_f64()),
+            ),
+            ("event".to_string(), Json::Str(event.into())),
+        ];
+        obj.extend(fields);
+        let mut line = String::new();
+        Json::Obj(obj).write_into(&mut line);
+        line.push('\n');
+        let _ = f.write_all(line.as_bytes());
+        let _ = f.flush();
+    }
+}
+
+/// Emits one structured event into the running sampler's flight file —
+/// immediately, outside the periodic cadence. Events carry an `"event"`
+/// tag plus caller-supplied fields and share the samples' strictly
+/// increasing `seq`. Returns `false` (event dropped) when no sampler is
+/// running; callers treat the flight file as best-effort, exactly like
+/// gauges with no recorder installed.
+pub fn flight_event(event: &str, fields: Vec<(String, Json)>) -> bool {
+    let shared = lock(&EVENT_SINK).as_ref().map(Arc::clone);
+    match shared {
+        Some(shared) => {
+            shared.write_event(event, fields);
+            true
+        }
+        None => false,
     }
 }
 
@@ -219,6 +277,9 @@ impl Sampler {
                     std::thread::sleep(slice);
                 }
             })?;
+        // Newest sampler wins the event sink: a process runs at most one
+        // sampler in practice, and events follow the live file.
+        *lock(&EVENT_SINK) = Some(Arc::clone(&shared));
         Ok(Sampler {
             shared,
             thread: Some(thread),
@@ -249,6 +310,12 @@ impl Sampler {
         self.shared.stop.store(true, Ordering::Relaxed);
         let _ = thread.join();
         self.shared.sample_once();
+        // Unregister from the event sink (unless a newer sampler already
+        // took it over) so late events don't land in a stopped file.
+        let mut sink = lock(&EVENT_SINK);
+        if sink.as_ref().is_some_and(|s| Arc::ptr_eq(s, &self.shared)) {
+            *sink = None;
+        }
     }
 }
 
@@ -265,6 +332,9 @@ pub struct FlightLog {
     pub header: Json,
     /// Every complete sample line, in file order.
     pub samples: Vec<Json>,
+    /// Every complete event line (lines carrying an `"event"` tag, e.g.
+    /// `gep-serve`'s slow-request log), in file order.
+    pub events: Vec<Json>,
     /// True iff the final line was torn (killed mid-write) and discarded.
     pub torn_tail: bool,
 }
@@ -277,9 +347,10 @@ impl FlightLog {
 }
 
 /// Reads and validates a flight-recorder file: the header must carry the
-/// expected kind and a supported version; sample `seq`s must strictly
-/// increase. A torn final line — the expected state after a kill — is
-/// discarded, not an error; torn or malformed *interior* lines are.
+/// expected kind and a supported version; sample/event `seq`s must
+/// strictly increase across the whole file. A torn final line — the
+/// expected state after a kill — is discarded, not an error; torn or
+/// malformed *interior* lines are.
 pub fn read_flight_file(path: &Path) -> Result<FlightLog, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let mut lines = text.split_inclusive('\n');
@@ -292,11 +363,12 @@ pub fn read_flight_file(path: &Path) -> Result<FlightLog, String> {
         return Err(format!("not a {FLIGHT_KIND} file"));
     }
     match header.get("schema_version").and_then(Json::as_i64) {
-        Some(v) if v == FLIGHT_SCHEMA_VERSION => {}
+        Some(v) if (FLIGHT_MIN_SCHEMA_VERSION..=FLIGHT_SCHEMA_VERSION).contains(&v) => {}
         Some(v) => return Err(format!("unsupported flight schema_version {v}")),
         None => return Err("missing integer schema_version".into()),
     }
     let mut samples = Vec::new();
+    let mut events = Vec::new();
     let mut torn_tail = false;
     let mut prev_seq = 0i64;
     let mut rest = lines.peekable();
@@ -304,16 +376,21 @@ pub fn read_flight_file(path: &Path) -> Result<FlightLog, String> {
         let complete = line.ends_with('\n');
         let parsed = Json::parse(line);
         match parsed {
-            Ok(sample) if complete => {
-                let seq = sample
+            Ok(entry) if complete => {
+                let idx = samples.len() + events.len();
+                let seq = entry
                     .get("seq")
                     .and_then(Json::as_i64)
-                    .ok_or_else(|| format!("sample {} missing seq", samples.len()))?;
+                    .ok_or_else(|| format!("line {idx} missing seq"))?;
                 if seq <= prev_seq {
                     return Err(format!("seq {seq} not greater than {prev_seq}"));
                 }
                 prev_seq = seq;
-                samples.push(sample);
+                if entry.get("event").and_then(Json::as_str).is_some() {
+                    events.push(entry);
+                } else {
+                    samples.push(entry);
+                }
             }
             _ if rest.peek().is_none() => {
                 // Incomplete or unparsable *final* line: the torn tail of
@@ -321,12 +398,13 @@ pub fn read_flight_file(path: &Path) -> Result<FlightLog, String> {
                 torn_tail = true;
             }
             Ok(_) => return Err("unterminated interior line".into()),
-            Err(e) => return Err(format!("sample {}: {e}", samples.len())),
+            Err(e) => return Err(format!("line {}: {e}", samples.len() + events.len())),
         }
     }
     Ok(FlightLog {
         header,
         samples,
+        events,
         torn_tail,
     })
 }
@@ -445,6 +523,65 @@ mod tests {
         let log = read_flight_file(&path).expect("parse");
         assert!(log.samples.len() >= 2, "periodic samples were written");
         assert_eq!(log.gauge(0, "g"), Some(2.5));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn flight_events_interleave_with_samples_in_seq_order() {
+        let _g = test_lock();
+        let path = tmp("events.jsonl");
+        install(Recorder::counters_only());
+        let s = Sampler::start(SamplerConfig {
+            path: path.clone(),
+            period: Duration::from_secs(3600),
+            ring_capacity: 8,
+        })
+        .expect("start");
+        assert!(s.sample_now());
+        assert!(flight_event(
+            "slow_request",
+            vec![
+                ("op".into(), Json::Str("dist".into())),
+                ("total_ns".into(), Json::Int(12345)),
+            ],
+        ));
+        assert!(s.sample_now());
+        s.stop();
+        let _ = take();
+        assert!(
+            !flight_event("late", vec![]),
+            "stopped sampler no longer accepts events"
+        );
+        let log = read_flight_file(&path).expect("parse");
+        assert_eq!(log.samples.len(), 3, "2 explicit + 1 flush sample");
+        assert_eq!(log.events.len(), 1);
+        let ev = &log.events[0];
+        assert_eq!(ev.get("event").and_then(Json::as_str), Some("slow_request"));
+        assert_eq!(ev.get("op").and_then(Json::as_str), Some("dist"));
+        assert_eq!(ev.get("total_ns").and_then(Json::as_i64), Some(12345));
+        // The event's seq slots strictly between the surrounding samples.
+        let seq = |j: &Json| j.get("seq").and_then(Json::as_i64).unwrap();
+        assert_eq!(seq(ev), 2);
+        assert_eq!(seq(&log.samples[0]), 1);
+        assert_eq!(seq(&log.samples[1]), 3);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn reader_accepts_version_1_files_without_events() {
+        let path = tmp("v1.jsonl");
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"kind\":\"{FLIGHT_KIND}\",\"schema_version\":1,\"period_ms\":250}}\n\
+                 {{\"seq\":1,\"elapsed_s\":0.1,\"counters\":{{}},\"gauges\":{{\"g\":4.0}}}}\n"
+            ),
+        )
+        .unwrap();
+        let log = read_flight_file(&path).expect("v1 parses");
+        assert_eq!(log.samples.len(), 1);
+        assert!(log.events.is_empty());
+        assert_eq!(log.gauge(0, "g"), Some(4.0));
         let _ = std::fs::remove_file(path);
     }
 

@@ -2,20 +2,29 @@
 //!
 //! ```text
 //! gep-serve [--addr HOST:PORT] [--n N] [--seed S] [--flight PATH]
+//!           [--slow-us MICROS]
 //! ```
 //!
 //! Loads the seeded random graph `(n, seed)` (see `gep_serve::graph`),
 //! runs the initial I-GEP solve (epoch 1), then serves until a client
 //! sends `{"op":"shutdown"}` or the process receives SIGINT-as-EOF. With
 //! `--flight`, a flight-recorder sampler streams `serve.*` counters and
-//! gauges to a JSONL file that `repro watch` can tail live from another
-//! terminal.
+//! gauges — plus structured `slow_request` events for any request at or
+//! over the `--slow-us` threshold (default 100000 µs; `0` logs every
+//! request, rate-capped) — to a JSONL file that `repro watch` can tail
+//! live from another terminal. Live metrics are always scrapeable over
+//! the wire via the `metrics` op (`loadgen --scrape`,
+//! `repro watch --addr`).
+
+use std::time::Duration;
 
 use gep_serve::graph::random_graph;
 use gep_serve::server::{Server, ServerConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: gep-serve [--addr HOST:PORT] [--n N] [--seed S] [--flight PATH]");
+    eprintln!(
+        "usage: gep-serve [--addr HOST:PORT] [--n N] [--seed S] [--flight PATH] [--slow-us MICROS]"
+    );
     std::process::exit(2)
 }
 
@@ -25,6 +34,7 @@ fn main() {
     let mut n: usize = 512;
     let mut seed: u64 = 42;
     let mut flight: Option<String> = None;
+    let mut slow_threshold = ServerConfig::default().slow_threshold;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -34,6 +44,9 @@ fn main() {
             "--n" => n = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
             "--flight" => flight = Some(value()),
+            "--slow-us" => {
+                slow_threshold = Duration::from_micros(value().parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -54,7 +67,10 @@ fn main() {
 
     eprintln!("gep-serve: solving n={n} seed={seed} (epoch 1)...");
     let base = random_graph(n, seed);
-    let config = ServerConfig { addr };
+    let config = ServerConfig {
+        addr,
+        slow_threshold,
+    };
     let server = Server::start(&config, base).unwrap_or_else(|e| {
         eprintln!("gep-serve: cannot start: {e}");
         std::process::exit(1)

@@ -4,6 +4,7 @@
 //! loadgen --addr HOST:PORT [--workers W] [--requests R | --duration-s D]
 //!         [--qps Q] [--mix dist|default] [--seed S] [--n N]
 //!         [--mutate-every-s M] [--json DIR] [--quick] [--shutdown]
+//!         [--scrape]
 //! ```
 //!
 //! Drives a running `gep-serve` with the configured workload, prints a
@@ -20,6 +21,21 @@
 //! connection, so smoke runs exercise re-solve-under-load.
 //! `--shutdown` skips the workload entirely and sends the server one
 //! graceful-shutdown request (the CI smoke job's off switch).
+//! `--scrape` also skips the workload: it issues one `metrics` request,
+//! validates the exposition document (including that a
+//! `serve.req_ns.dist` histogram is present — i.e. the server has
+//! actually served dist traffic), and prints it to stdout, so CI can
+//! assert on the server's own phase histograms without flight-file
+//! access.
+//!
+//! After a `--json` run, loadgen scrapes the server once more and adds a
+//! client-vs-server latency decomposition to the row: `p99_client_dist_ns`
+//! (round-trip, measured here), `p99_server_dist_ns` (on-server, from the
+//! scraped `serve.req_ns.dist` histogram), their clamped difference
+//! `p99_net_queue_dist_ns`, and `net_queue_share` — the fraction of
+//! client-observed p99 spent outside the server's handler (network +
+//! kernel accept/queue). All four are informational under
+//! `repro compare` (`_ns` / `_share` naming rules).
 
 use std::net::ToSocketAddrs;
 use std::time::Duration;
@@ -33,7 +49,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--workers W] [--requests R | --duration-s D] \
          [--qps Q] [--mix dist|default] [--seed S] [--n N] [--mutate-every-s M] \
-         [--json PATH] [--quick] [--shutdown]"
+         [--json PATH] [--quick] [--shutdown] [--scrape]"
     );
     std::process::exit(2)
 }
@@ -51,6 +67,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut quick = false;
     let mut shutdown = false;
+    let mut scrape = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -86,6 +103,7 @@ fn main() {
             "--json" => json_path = Some(value()),
             "--quick" => quick = true,
             "--shutdown" => shutdown = true,
+            "--scrape" => scrape = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -99,6 +117,27 @@ fn main() {
             eprintln!("loadgen: address does not resolve");
             std::process::exit(1)
         });
+
+    if scrape {
+        let doc = loadgen::scrape_metrics(addr).unwrap_or_else(|e| {
+            eprintln!("loadgen: metrics scrape failed: {e}");
+            std::process::exit(1)
+        });
+        if let Err(e) = gep_obs::validate_exposition(&doc) {
+            eprintln!("loadgen: invalid exposition: {e}");
+            std::process::exit(1);
+        }
+        if doc
+            .get("histograms")
+            .and_then(|h| h.get("serve.req_ns.dist"))
+            .is_none()
+        {
+            eprintln!("loadgen: exposition has no serve.req_ns.dist histogram — no dist traffic?");
+            std::process::exit(1);
+        }
+        println!("{doc}");
+        return;
+    }
 
     if shutdown {
         match loadgen::request_once(addr, &Request::Shutdown) {
@@ -167,7 +206,13 @@ fn main() {
         std::process::exit(1);
     }
     if let Some(dir) = json_path {
-        let doc = bench_doc(&report, &config, quick);
+        // Scrape the server's own view for the client-vs-server p99
+        // decomposition before anyone shuts it down.
+        let exposition = loadgen::scrape_metrics(addr).unwrap_or_else(|e| {
+            eprintln!("loadgen: post-run metrics scrape failed: {e}");
+            std::process::exit(1)
+        });
+        let doc = bench_doc(&report, &config, &exposition, quick);
         match doc.write_to(std::path::Path::new(&dir)) {
             Ok(full) => eprintln!("loadgen: wrote {}", full.display()),
             Err(e) => {
@@ -207,13 +252,34 @@ fn print_report(report: &LoadgenReport) {
 
 /// Builds the standalone loadgen's BENCH doc. Deterministic facts
 /// (counts, errors, epochs) go in the row; latencies only in the
-/// `histograms` object, which `repro compare` treats as informational.
-fn bench_doc(report: &LoadgenReport, config: &LoadgenConfig, quick: bool) -> BenchDoc {
+/// `histograms` object and in informational `_ns`/`_share` row fields,
+/// which `repro compare` does not gate.
+fn bench_doc(
+    report: &LoadgenReport,
+    config: &LoadgenConfig,
+    exposition: &Json,
+    quick: bool,
+) -> BenchDoc {
     let mut doc = BenchDoc::new(
         "serve_smoke",
         "APSP serving: loadgen against a live gep-serve",
         quick,
     );
+    // Client round-trip p99 vs the server's own handler p99 for dist —
+    // the difference is time spent on the network and in kernel queues.
+    let p99_client = report
+        .ops
+        .get("dist")
+        .and_then(|s| s.latency_ns.p99())
+        .unwrap_or(0) as i64;
+    let p99_server =
+        gep_obs::exposition_hist_stat(exposition, "serve.req_ns.dist", "p99").unwrap_or(0);
+    let p99_net_queue = (p99_client - p99_server).max(0);
+    let net_queue_share = if p99_client > 0 {
+        p99_net_queue as f64 / p99_client as f64
+    } else {
+        0.0
+    };
     doc.row(vec![
         ("n", Json::Int(config.n as i64)),
         ("threads", Json::Int(config.workers as i64)),
@@ -227,7 +293,19 @@ fn bench_doc(report: &LoadgenReport, config: &LoadgenConfig, quick: bool) -> Ben
         ),
         ("elapsed_s", Json::from_f64(report.elapsed_s)),
         ("qps", Json::from_f64(report.qps())),
+        ("p99_client_dist_ns", Json::Int(p99_client)),
+        ("p99_server_dist_ns", Json::Int(p99_server)),
+        ("p99_net_queue_dist_ns", Json::Int(p99_net_queue)),
+        ("net_queue_share", Json::from_f64(net_queue_share)),
     ]);
+    eprintln!(
+        "loadgen: dist p99 decomposition — client {:.1}us, server {:.1}us, \
+         network+queue {:.1}us ({:.0}% of client p99)",
+        p99_client as f64 / 1e3,
+        p99_server as f64 / 1e3,
+        p99_net_queue as f64 / 1e3,
+        net_queue_share * 100.0
+    );
     for (op, stats) in &report.ops {
         doc.counter(&format!("serve.loadgen.{op}.requests"), stats.count);
         doc.histogram(&format!("serve.latency_ns.{op}"), &stats.latency_ns);

@@ -20,19 +20,26 @@
 //! * [`loadgen`] — seeded open/closed-loop workload driver recording
 //!   per-request latency into mergeable log-bucketed histograms, the
 //!   source of `BENCH_serve.json`;
+//! * [`metrics`] — the server's own account of where request time goes:
+//!   per-op × per-phase latency histograms (read/parse/snapshot/compute/
+//!   serialize/write), mutation-freshness (staleness) histograms, and
+//!   the slow-request rate limiter; scraped live via the `metrics` op;
 //! * [`graph`] — deterministic seeded graphs and mutation streams shared
 //!   by the server, the load generator, tests, and `repro serve`.
 //!
 //! The protocol, epoch/batching semantics, and loadgen knobs are
-//! documented in `docs/SERVING.md`.
+//! documented in `docs/SERVING.md`; the phase taxonomy and exposition
+//! format in `docs/OBSERVABILITY.md`.
 
 pub mod graph;
 pub mod loadgen;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod state;
 
 pub use loadgen::{LoadgenConfig, LoadgenReport, Mix, Pacing, RunLength};
+pub use metrics::{PhaseNanos, ServeMetrics, PHASES};
 pub use protocol::{Request, TROPICAL_INF};
 pub use server::{Server, ServerConfig};
 pub use state::{ApspCache, Solved};

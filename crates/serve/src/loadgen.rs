@@ -310,6 +310,20 @@ pub fn request_once(addr: SocketAddr, req: &Request) -> std::io::Result<Json> {
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "no response"))
 }
 
+/// Scrapes the server's live metric exposition (the `metrics` op) and
+/// returns the exposition document — the `"metrics"` field of the
+/// response. Used by `loadgen --scrape`, `repro watch --addr`, and the
+/// `repro slo` gate.
+pub fn scrape_metrics(addr: SocketAddr) -> std::io::Result<Json> {
+    let resp = request_once(addr, &Request::Metrics)?;
+    resp.get("metrics").cloned().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "metrics response carries no exposition",
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

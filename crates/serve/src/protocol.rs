@@ -15,6 +15,7 @@
 //! {"op":"reach","u":0,"v":5}
 //! {"op":"mutate","edges":[[0,5,12],[3,4,7]]}
 //! {"op":"status"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -34,13 +35,27 @@
 //! each re-solve.
 //!
 //! ```json
-//! {"ok":true,"epoch":1,"dist":12}          // dist; null = unreachable
-//! {"ok":true,"epoch":1,"dist":12,"path":[0,2,5]}
-//! {"ok":true,"epoch":1,"reach":true}
-//! {"ok":true,"epoch":1,"pending":2}        // mutate: batch depth after accept
-//! {"ok":true,"epoch":2,"n":512,...}        // status
-//! {"ok":false,"epoch":1,"error":"..."}
+//! {"ok":true,"epoch":1,"dist":12,"trace":"s3-1"}   // dist; null = unreachable
+//! {"ok":true,"epoch":1,"dist":12,"path":[0,2,5],"trace":"s3-2"}
+//! {"ok":true,"epoch":1,"reach":true,"trace":"abc"}
+//! {"ok":true,"epoch":1,"pending":2,"trace":"s3-3"} // mutate: batch depth after accept
+//! {"ok":true,"epoch":2,"n":512,...,"trace":"s3-4"} // status
+//! {"ok":true,"epoch":2,"metrics":{...},"trace":"s3-5"}
+//! {"ok":false,"epoch":1,"error":"...","trace":"s3-6"}
 //! ```
+//!
+//! ## Trace envelope
+//!
+//! Any request may carry a `"trace"` field: a 1–[`MAX_TRACE_BYTES`]-byte
+//! printable-ASCII id the client mints to correlate its own logs with
+//! the server's. The server echoes it verbatim in the response; requests
+//! without one get a server-assigned id (`s<conn>-<seq>`, unique per
+//! connection). A malformed trace id (wrong type, empty, oversized,
+//! non-printable) is rejected with an `ok:false` response — stamped with
+//! a server-assigned id — and the connection survives, like any other
+//! malformed request. Trace ids also key the server's slow-request
+//! flight-recorder events, so one over-threshold request can be chased
+//! from client log to server phase breakdown.
 
 use gep_obs::Json;
 use std::io::{self, Read, Write};
@@ -51,8 +66,10 @@ pub use gep_core::algebra::TROPICAL_INF;
 /// realistic mutation batch or path response by orders of magnitude).
 pub const MAX_FRAME_BYTES: u32 = 1 << 20;
 
-/// Writes one frame: 4-byte big-endian length, then the compact JSON.
-pub fn write_frame(w: &mut impl Write, msg: &Json) -> io::Result<()> {
+/// Serializes one frame to bytes: 4-byte big-endian length, then the
+/// compact JSON. Split out from [`write_frame`] so a server can time its
+/// serialize and write phases separately.
+pub fn encode_frame(msg: &Json) -> io::Result<Vec<u8>> {
     let mut body = String::new();
     msg.write_into(&mut body);
     let len = body.len() as u32;
@@ -62,19 +79,35 @@ pub fn write_frame(w: &mut impl Write, msg: &Json) -> io::Result<()> {
             format!("frame of {len} bytes exceeds {MAX_FRAME_BYTES}"),
         ));
     }
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(body.as_bytes())?;
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(body.as_bytes());
+    Ok(out)
+}
+
+/// Writes one already-encoded frame and flushes it onto the wire.
+pub fn write_encoded(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)?;
     w.flush()
 }
 
-/// Reads one frame. `Ok(None)` on clean end-of-stream (the peer closed
-/// between frames); any torn frame or malformed JSON is an error.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
+/// Writes one frame: 4-byte big-endian length, then the compact JSON.
+pub fn write_frame(w: &mut impl Write, msg: &Json) -> io::Result<()> {
+    write_encoded(w, &encode_frame(msg)?)
+}
+
+/// Reads one frame as raw UTF-8 text, plus the instant its first byte
+/// arrived — the `t0` every per-phase request timing telescopes from.
+/// `Ok(None)` on clean end-of-stream (the peer closed between frames);
+/// a torn frame or non-UTF-8 body is an error. JSON parsing is the
+/// caller's (separately timed) phase.
+pub fn read_frame_raw(r: &mut impl Read) -> io::Result<Option<(String, std::time::Instant)>> {
     let mut len_bytes = [0u8; 4];
-    match r.read(&mut len_bytes[..1])? {
-        0 => return Ok(None), // clean EOF at a frame boundary
-        _ => r.read_exact(&mut len_bytes[1..])?,
+    if r.read(&mut len_bytes[..1])? == 0 {
+        return Ok(None); // clean EOF at a frame boundary
     }
+    let started = std::time::Instant::now();
+    r.read_exact(&mut len_bytes[1..])?;
     let len = u32::from_be_bytes(len_bytes);
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(
@@ -84,9 +117,18 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
     }
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
-    let text = std::str::from_utf8(&body)
+    let text = String::from_utf8(body)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame not UTF-8: {e}")))?;
-    Json::parse(text)
+    Ok(Some((text, started)))
+}
+
+/// Reads one frame. `Ok(None)` on clean end-of-stream (the peer closed
+/// between frames); any torn frame or malformed JSON is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
+    let Some((text, _)) = read_frame_raw(r)? else {
+        return Ok(None);
+    };
+    Json::parse(&text)
         .map(Some)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame not JSON: {e}")))
 }
@@ -108,6 +150,8 @@ pub enum Request {
     Mutate { edges: Vec<EdgeMut> },
     /// Server/cache status.
     Status,
+    /// Live metrics exposition (see [`gep_obs::expose`]).
+    Metrics,
     /// Graceful shutdown: the server answers, drains, and exits.
     Shutdown,
 }
@@ -138,6 +182,7 @@ impl Request {
                 ),
             ]),
             Request::Status => Json::obj(vec![("op", Json::Str("status".into()))]),
+            Request::Metrics => Json::obj(vec![("op", Json::Str("metrics".into()))]),
             Request::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
         }
     }
@@ -193,6 +238,7 @@ impl Request {
                 Ok(Request::Mutate { edges })
             }
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op '{other}'")),
         }
@@ -206,9 +252,54 @@ impl Request {
             Request::Reach { .. } => "reach",
             Request::Mutate { .. } => "mutate",
             Request::Status => "status",
+            Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
     }
+}
+
+/// Longest accepted client-supplied trace id, in bytes.
+pub const MAX_TRACE_BYTES: usize = 64;
+
+/// Extracts the optional client-supplied trace id from a request frame.
+/// `Ok(None)` when absent (the server assigns one); `Err` for ids of
+/// the wrong type, empty, oversized, or containing anything but
+/// printable ASCII — the error string goes back verbatim in an
+/// `ok:false` response and the connection survives.
+pub fn request_trace(msg: &Json) -> Result<Option<&str>, String> {
+    match msg.get("trace") {
+        None => Ok(None),
+        Some(Json::Str(s)) => {
+            if s.is_empty() || s.len() > MAX_TRACE_BYTES {
+                Err(format!(
+                    "trace id must be 1..={MAX_TRACE_BYTES} bytes, got {}",
+                    s.len()
+                ))
+            } else if !s.bytes().all(|b| b.is_ascii_graphic()) {
+                Err("trace id must be printable ASCII without spaces".into())
+            } else {
+                Ok(Some(s))
+            }
+        }
+        Some(_) => Err("trace id must be a string".into()),
+    }
+}
+
+/// Appends the trace id to a response (or request) object — the echo
+/// half of the trace envelope.
+pub fn with_trace(msg: Json, trace: &str) -> Json {
+    match msg {
+        Json::Obj(mut fields) => {
+            fields.push(("trace".to_string(), Json::Str(trace.into())));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+/// The trace id echoed on a response.
+pub fn response_trace(resp: &Json) -> Option<&str> {
+    resp.get("trace").and_then(Json::as_str)
 }
 
 fn point(op: &str, u: u32, v: u32) -> Json {
@@ -259,6 +350,7 @@ mod tests {
                 edges: vec![(0, 5, 12), (3, 4, TROPICAL_INF)],
             },
             Request::Status,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in cases {
@@ -315,6 +407,50 @@ mod tests {
         assert!(read_frame(&mut &huge[..]).is_err());
         // A torn length prefix is also an error (not silent EOF).
         assert!(read_frame(&mut &[0u8, 0][..]).is_err());
+    }
+
+    #[test]
+    fn trace_envelope_validates_and_round_trips() {
+        // A request with a valid trace still parses as the same request.
+        let framed = with_trace(Request::Dist { u: 1, v: 2 }.to_json(), "req-42/a_b.c");
+        assert_eq!(request_trace(&framed), Ok(Some("req-42/a_b.c")));
+        assert_eq!(
+            Request::from_json(&framed),
+            Ok(Request::Dist { u: 1, v: 2 })
+        );
+        // Absent means server-assigned, not an error.
+        assert_eq!(request_trace(&Request::Status.to_json()), Ok(None));
+        // Wrong type / empty / oversized / non-printable are rejected.
+        for (bad, want) in [
+            (Json::Int(7), "must be a string"),
+            (Json::Str(String::new()), "1..=64 bytes"),
+            (Json::Str("x".repeat(MAX_TRACE_BYTES + 1)), "1..=64 bytes"),
+            (Json::Str("has space".into()), "printable ASCII"),
+            (Json::Str("ümlaut".into()), "printable ASCII"),
+        ] {
+            let mut msg = Request::Status.to_json();
+            if let Json::Obj(fields) = &mut msg {
+                fields.push(("trace".to_string(), bad));
+            }
+            let err = request_trace(&msg).expect_err("must reject");
+            assert!(err.contains(want), "{err:?} should mention {want:?}");
+        }
+        // The echo lands on responses and reads back.
+        let resp = with_trace(ok_response(1, vec![]), "abc");
+        assert_eq!(response_trace(&resp), Some("abc"));
+    }
+
+    #[test]
+    fn raw_read_and_split_write_match_the_composed_forms() {
+        let msg = Request::Dist { u: 1, v: 2 }.to_json();
+        let mut composed = Vec::new();
+        write_frame(&mut composed, &msg).unwrap();
+        let mut split = Vec::new();
+        write_encoded(&mut split, &encode_frame(&msg).unwrap()).unwrap();
+        assert_eq!(composed, split, "one wire format, two entry points");
+        let (text, _t0) = read_frame_raw(&mut &composed[..]).unwrap().unwrap();
+        assert_eq!(Json::parse(&text).unwrap(), msg);
+        assert_eq!(read_frame_raw(&mut &[][..]).unwrap(), None, "clean EOF");
     }
 
     #[test]

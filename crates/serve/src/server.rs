@@ -7,35 +7,65 @@
 //! snapshot and answer without ever blocking on a solve; the epoch in
 //! every response is the snapshot's, so clients can verify monotonicity.
 //!
-//! A small stats ticker republishes cache-derived gauges
-//! (`serve.cache_age_s`, `serve.batch_depth`, `serve.connections.open`)
-//! once per second so a flight-recorder [`gep_obs::Sampler`] attached to
-//! the process produces a live-readable JSONL stream for `repro watch`.
+//! ## Request-scoped observability
+//!
+//! Every request carries a trace id (client-supplied or server-assigned
+//! `s<conn>-<seq>`), echoed in the response, and is timed through six
+//! telescoping phases — read, parse, snapshot, compute, serialize,
+//! write — recorded into the cache's [`ServeMetrics`] per-op × per-phase
+//! histograms (see [`crate::metrics`] for the taxonomy). Requests whose
+//! total meets `ServerConfig::slow_threshold` additionally emit one
+//! structured `slow_request` event into the flight recorder (rate-capped
+//! at [`crate::metrics::SLOW_EVENTS_PER_SEC`]), carrying the trace id,
+//! op, epoch and the full phase breakdown.
+//!
+//! ## Gauge discipline
+//!
+//! Connection threads only ever *add to counters* (race-free). All
+//! point-in-time `serve.*` gauges — `cache_age_s`, `epoch`,
+//! `batch_depth`, `connections.open` — have exactly one writer: the
+//! stats ticker below, which republishes them every 200 ms and once more
+//! on shutdown (so the flight file's final flush sample carries closing
+//! values). The one exception, `serve.resolve_s`, is written by the
+//! cache's single solver thread. This makes every gauge's last write the
+//! newest value by construction, with no cross-thread interleaving to
+//! reason about.
 
+use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gep_matrix::Matrix;
-use gep_obs::Json;
+use gep_obs::{Histogram, Json};
 
-use crate::protocol::{err_response, ok_response, read_frame, write_frame, Request};
-use crate::state::ApspCache;
+use crate::metrics::{PhaseNanos, ServeMetrics};
+use crate::protocol::{
+    encode_frame, err_response, ok_response, read_frame_raw, request_trace, with_trace,
+    write_encoded, Request,
+};
+use crate::state::{ApspCache, Solved};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port (tests).
     pub addr: String,
+    /// Requests whose total handling time reaches this threshold emit a
+    /// structured `slow_request` flight-recorder event with their full
+    /// phase breakdown. `Duration::ZERO` logs every request (rate-capped;
+    /// useful in CI to prove the pipeline works).
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
+            slow_threshold: Duration::from_millis(100),
         }
     }
 }
@@ -48,6 +78,10 @@ struct Shared {
     /// Total requests answered, by success.
     served: AtomicU64,
     errors: AtomicU64,
+    /// Connection id allocator (trace ids embed it).
+    next_conn: AtomicU64,
+    /// Slow-request threshold in nanoseconds.
+    slow_threshold_ns: u64,
 }
 
 /// A running server: listener thread + per-connection handlers + stats
@@ -72,6 +106,8 @@ impl Server {
             open: AtomicU64::new(0),
             served: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            next_conn: AtomicU64::new(0),
+            slow_threshold_ns: config.slow_threshold.as_nanos().min(u64::MAX as u128) as u64,
         });
         let server = Arc::new(Server {
             shared: Arc::clone(&shared),
@@ -176,11 +212,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         }
         gep_obs::counter_add("serve.connections", 1);
         shared.open.fetch_add(1, Ordering::Relaxed);
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
         let conn_shared = Arc::clone(&shared);
         let _ = std::thread::Builder::new()
             .name("gep-serve-conn".into())
             .spawn(move || {
-                let _ = handle_connection(stream, &conn_shared);
+                let _ = handle_connection(stream, &conn_shared, conn_id);
                 conn_shared.open.fetch_sub(1, Ordering::Relaxed);
             });
     }
@@ -194,6 +231,8 @@ fn stats_ticker(shared: Arc<Shared>) {
     publish_stats(&shared); // final values for the flight file's flush
 }
 
+/// The *sole* writer of the point-in-time `serve.*` gauges (see the
+/// module docs' gauge discipline). Runs on the ticker thread only.
 fn publish_stats(shared: &Shared) {
     let snap = shared.cache.snapshot();
     gep_obs::gauge_set("serve.cache_age_s", snap.solved_at.elapsed().as_secs_f64());
@@ -205,38 +244,104 @@ fn publish_stats(shared: &Shared) {
     );
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+/// The per-op query counter (additive — safe from connection threads).
+fn op_counter(op: &str) -> &'static str {
+    match op {
+        "dist" => "serve.queries.dist",
+        "path" => "serve.queries.path",
+        "reach" => "serve.queries.reach",
+        "mutate" => "serve.queries.mutate",
+        "status" => "serve.queries.status",
+        "metrics" => "serve.queries.metrics",
+        _ => "serve.queries.other",
+    }
+}
+
+/// The op label requests are metered under. `Request::op_name` for
+/// parseable requests; the handler passes `"invalid"` otherwise.
+fn op_label(parsed: &Result<Request, String>) -> &'static str {
+    match parsed {
+        Ok(req) => req.op_name(),
+        Err(_) => "invalid",
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared, conn_id: u64) -> std::io::Result<()> {
     stream.set_nodelay(true)?; // latency over throughput for tiny frames
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    while let Some(frame) = read_frame(&mut reader)? {
+    let mut req_seq = 0u64;
+    while let Some((body, t0)) = read_frame_raw(&mut reader)? {
+        let t_read = Instant::now();
         if shared.stop.load(Ordering::Acquire) {
             return Ok(());
         }
-        let resp = match Request::from_json(&frame) {
-            Ok(req) => {
-                let resp = dispatch(&req, shared);
-                gep_obs::counter_add(
-                    match req.op_name() {
-                        "dist" => "serve.queries.dist",
-                        "path" => "serve.queries.path",
-                        "reach" => "serve.queries.reach",
-                        "mutate" => "serve.queries.mutate",
-                        "status" => "serve.queries.status",
-                        _ => "serve.queries.other",
-                    },
-                    1,
-                );
-                resp
+        req_seq += 1;
+
+        // Parse phase: bytes -> JSON -> request + trace envelope. A bad
+        // trace id fails the request (the client asked for an echo the
+        // server can't give) but never the connection.
+        let (parsed, trace) = match Json::parse(&body) {
+            Ok(frame) => {
+                let parsed = Request::from_json(&frame);
+                match request_trace(&frame) {
+                    Ok(Some(t)) => (parsed, t.to_string()),
+                    Ok(None) => (parsed, format!("s{conn_id}-{req_seq}")),
+                    Err(e) => (parsed.and(Err(e)), format!("s{conn_id}-{req_seq}")),
+                }
             }
-            Err(msg) => err_response(shared.cache.snapshot().epoch, &msg),
+            Err(e) => (
+                Err(format!("frame not JSON: {e}")),
+                format!("s{conn_id}-{req_seq}"),
+            ),
         };
+        let op = op_label(&parsed);
+        let t_parse = Instant::now();
+
+        // Snapshot phase: one read lock + Arc clone. Taken for every
+        // request (errors included) so the error response's epoch is the
+        // one the request would have been answered from.
+        let snap = shared.cache.snapshot();
+        let t_snap = Instant::now();
+
+        // Compute phase: dispatch against the snapshot, bookkeeping,
+        // trace echo.
+        let resp = match &parsed {
+            Ok(req) => dispatch(req, &snap, shared),
+            Err(msg) => err_response(snap.epoch, msg),
+        };
+        gep_obs::counter_add(op_counter(op), 1);
         if resp.get("ok").and_then(Json::as_bool) == Some(true) {
             shared.served.fetch_add(1, Ordering::Relaxed);
         } else {
             shared.errors.fetch_add(1, Ordering::Relaxed);
         }
-        write_frame(&mut writer, &resp)?;
+        let resp = with_trace(resp, &trace);
+        let t_compute = Instant::now();
+
+        // Serialize and write phases, timed apart so a slow client (or
+        // full socket buffer) shows up as write time, not compute time.
+        let encoded = encode_frame(&resp)?;
+        let t_serialize = Instant::now();
+        write_encoded(&mut writer, &encoded)?;
+        let t_write = Instant::now();
+
+        let phases = PhaseNanos::from_checkpoints(&[
+            t0,
+            t_read,
+            t_parse,
+            t_snap,
+            t_compute,
+            t_serialize,
+            t_write,
+        ]);
+        let metrics = shared.cache.metrics();
+        metrics.record_request(op, &phases);
+        let total_ns = phases.total();
+        if total_ns >= shared.slow_threshold_ns {
+            log_slow_request(metrics, op, &trace, snap.epoch, &phases, total_ns);
+        }
+
         if shared.stop.load(Ordering::Acquire) {
             return Ok(()); // shutdown was this very request
         }
@@ -244,8 +349,35 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
     Ok(())
 }
 
-fn dispatch(req: &Request, shared: &Shared) -> Json {
-    let snap = shared.cache.snapshot();
+/// Emits one structured slow-request event into the flight recorder
+/// (best-effort: dropped when no sampler runs), rate-capped through
+/// [`ServeMetrics::try_slow_event`].
+fn log_slow_request(
+    metrics: &ServeMetrics,
+    op: &str,
+    trace: &str,
+    epoch: u64,
+    phases: &PhaseNanos,
+    total_ns: u64,
+) {
+    if !metrics.try_slow_event() {
+        gep_obs::counter_add("serve.requests.slow_suppressed", 1);
+        return;
+    }
+    gep_obs::counter_add("serve.requests.slow", 1);
+    gep_obs::flight_event(
+        "slow_request",
+        vec![
+            ("trace".to_string(), Json::Str(trace.into())),
+            ("op".to_string(), Json::Str(op.into())),
+            ("epoch".to_string(), Json::Int(epoch as i64)),
+            ("total_ns".to_string(), Json::Int(total_ns as i64)),
+            ("phases".to_string(), phases.to_json()),
+        ],
+    );
+}
+
+fn dispatch(req: &Request, snap: &Arc<Solved>, shared: &Shared) -> Json {
     let epoch = snap.epoch;
     let check = |u: u32, v: u32| -> Result<(usize, usize), Json> {
         let (u, v) = (u as usize, v as usize);
@@ -292,6 +424,26 @@ fn dispatch(req: &Request, shared: &Shared) -> Json {
         },
         Request::Status => {
             let stats = shared.cache.stats();
+            // The per-op latency view: request counts and p50/p99 from
+            // the server-side histograms (log-bucket resolution).
+            let ops = Json::Obj(
+                shared
+                    .cache
+                    .metrics()
+                    .op_summaries()
+                    .into_iter()
+                    .map(|(op, count, p50, p99)| {
+                        (
+                            op.to_string(),
+                            Json::obj(vec![
+                                ("count", Json::Int(count as i64)),
+                                ("p50_ns", Json::Int(p50 as i64)),
+                                ("p99_ns", Json::Int(p99 as i64)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            );
             ok_response(
                 epoch,
                 vec![
@@ -311,12 +463,56 @@ fn dispatch(req: &Request, shared: &Shared) -> Json {
                         "served",
                         Json::Int(shared.served.load(Ordering::Relaxed) as i64),
                     ),
+                    ("ops", ops),
                 ],
             )
         }
+        Request::Metrics => ok_response(epoch, vec![("metrics", build_exposition(snap, shared))]),
         Request::Shutdown => {
             shared.stop.store(true, Ordering::Release);
             ok_response(epoch, vec![("shutting_down", Json::Bool(true))])
         }
     }
+}
+
+/// Assembles the live exposition for the `metrics` op: the process-global
+/// recorder's counters/gauges/histograms when one is installed, overlaid
+/// with the server's own authoritative state — request totals, live
+/// gauges and the [`ServeMetrics`] histograms — so a scrape is complete
+/// even in a process running without a recorder.
+fn build_exposition(snap: &Arc<Solved>, shared: &Shared) -> Json {
+    let (mut counters, mut gauges, mut hists) = match gep_obs::metrics_snapshot() {
+        Some(s) => (s.counters, s.gauges, s.hists),
+        None => (
+            BTreeMap::new(),
+            BTreeMap::new(),
+            BTreeMap::<String, Histogram>::new(),
+        ),
+    };
+    counters.insert(
+        "serve.requests.served".into(),
+        shared.served.load(Ordering::Relaxed),
+    );
+    counters.insert(
+        "serve.requests.errors".into(),
+        shared.errors.load(Ordering::Relaxed),
+    );
+    let (slow, suppressed) = shared.cache.metrics().slow_counts();
+    counters.insert("serve.requests.slow".into(), slow);
+    counters.insert("serve.requests.slow_suppressed".into(), suppressed);
+    gauges.insert("serve.epoch".into(), snap.epoch as f64);
+    gauges.insert(
+        "serve.cache_age_s".into(),
+        snap.solved_at.elapsed().as_secs_f64(),
+    );
+    gauges.insert(
+        "serve.batch_depth".into(),
+        shared.cache.batch_depth() as f64,
+    );
+    gauges.insert(
+        "serve.connections.open".into(),
+        shared.open.load(Ordering::Relaxed) as f64,
+    );
+    hists.extend(shared.cache.metrics().histograms());
+    gep_obs::exposition(&counters, &gauges, &hists)
 }

@@ -31,6 +31,7 @@ use gep_core::abcd::igep_opt;
 use gep_matrix::{next_pow2, Matrix};
 
 use crate::graph::apply_mutations;
+use crate::metrics::ServeMetrics;
 use crate::protocol::EdgeMut;
 
 /// Base-case size handed to the I-GEP engine (the `r` at which the
@@ -110,6 +111,10 @@ struct Pending {
     base: Matrix<i64>,
     /// Accumulated, not-yet-solved mutations.
     batch: Vec<EdgeMut>,
+    /// Accept instant of each not-yet-solved `mutate` call (one entry
+    /// per accepted request, not per edge) — the enqueue timestamps the
+    /// freshness histograms measure from.
+    arrivals: Vec<Instant>,
     /// Set by [`ApspCache::stop`]; the solver drains and exits.
     stop: bool,
 }
@@ -133,6 +138,9 @@ pub struct ApspCache {
     /// Batches taken off the buffer (a solve is in flight whenever this
     /// exceeds `stats.resolves`).
     started: AtomicU64,
+    /// Request/phase latency and mutation-freshness histograms, shared
+    /// with the TCP front end.
+    metrics: ServeMetrics,
     solver: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -143,8 +151,10 @@ impl ApspCache {
         assert!(base.is_square(), "base distance matrix must be square");
         let n = base.n();
         let (mat, solve_s) = solve(&base);
+        // `serve.resolve_s` has exactly one writer at a time: this
+        // thread now, the solver thread after it spawns below. All other
+        // `serve.*` gauges belong to the server's stats ticker.
         gep_obs::gauge_set("serve.resolve_s", solve_s);
-        gep_obs::gauge_set("serve.epoch", 1.0);
         let cache = Arc::new(ApspCache {
             current: RwLock::new(Arc::new(Solved {
                 epoch: 1,
@@ -156,11 +166,13 @@ impl ApspCache {
             pending: Mutex::new(Pending {
                 base,
                 batch: Vec::new(),
+                arrivals: Vec::new(),
                 stop: false,
             }),
             wake: Condvar::new(),
             stats: Mutex::new(CacheStats::default()),
             started: AtomicU64::new(0),
+            metrics: ServeMetrics::new(),
             solver: Mutex::new(None),
         });
         let worker = Arc::clone(&cache);
@@ -180,7 +192,9 @@ impl ApspCache {
     /// Appends a mutation batch and wakes the solver. Returns the batch
     /// depth (pending mutations) after the append. Endpoints are
     /// validated against the graph size here, so the solver thread can
-    /// assume well-formed batches.
+    /// assume well-formed batches. Connection threads only bump counters
+    /// (additive, race-free); the `serve.batch_depth` gauge belongs to
+    /// the server's periodic stats ticker.
     pub fn mutate(&self, edges: &[EdgeMut]) -> Result<usize, String> {
         let n = self.snapshot().n();
         for &(u, v, _) in edges {
@@ -190,9 +204,13 @@ impl ApspCache {
         }
         let mut pending = self.pending.lock().unwrap();
         pending.batch.extend_from_slice(edges);
+        if !edges.is_empty() {
+            // One arrival per accepted request: the freshness histograms
+            // get exactly one staleness sample per non-empty mutate.
+            pending.arrivals.push(Instant::now());
+        }
         let depth = pending.batch.len();
         gep_obs::counter_add("serve.mutations", edges.len() as u64);
-        gep_obs::gauge_set("serve.batch_depth", depth as f64);
         self.wake.notify_one();
         Ok(depth)
     }
@@ -205,6 +223,11 @@ impl ApspCache {
     /// Lifetime counters.
     pub fn stats(&self) -> CacheStats {
         *self.stats.lock().unwrap()
+    }
+
+    /// The server-side latency/freshness histograms.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
     }
 
     /// Blocks until every mutation accepted before this call has been
@@ -237,7 +260,7 @@ impl ApspCache {
 
     fn solver_loop(&self) {
         loop {
-            let (batch, base) = {
+            let (batch, arrivals, base, drained_at) = {
                 let mut pending = self.pending.lock().unwrap();
                 while pending.batch.is_empty() && !pending.stop {
                     pending = self.wake.wait(pending).unwrap();
@@ -246,15 +269,15 @@ impl ApspCache {
                     return;
                 }
                 let batch = std::mem::take(&mut pending.batch);
+                let arrivals = std::mem::take(&mut pending.arrivals);
                 self.started.fetch_add(1, Ordering::AcqRel);
-                gep_obs::gauge_set("serve.batch_depth", 0.0);
                 apply_mutations(&mut pending.base, &batch);
                 // Solve from a clone so the mutex is not held across the
                 // n³ solve (new mutations keep batching meanwhile).
-                (batch, pending.base.clone())
+                (batch, arrivals, pending.base.clone(), Instant::now())
             };
             let (mat, solve_s) = solve(&base);
-            let epoch = {
+            {
                 let mut current = self.current.write().unwrap();
                 let epoch = current.epoch + 1;
                 *current = Arc::new(Solved {
@@ -264,15 +287,26 @@ impl ApspCache {
                     solve_s,
                     solved_at: Instant::now(),
                 });
-                epoch
+            }
+            // Freshness telemetry, measured at publish time: how long
+            // each accepted mutate request waited in the buffer, how
+            // long the drain-to-publish (re-solve) took, and the total
+            // enqueue-to-visibility staleness. Recorded before the stats
+            // bump so anything `quiesce()`-gated sees complete series.
+            let published_at = Instant::now();
+            let elapsed = |from: Instant, to: Instant| {
+                to.duration_since(from).as_nanos().min(u64::MAX as u128) as u64
             };
+            let queue_waits: Vec<u64> = arrivals.iter().map(|&a| elapsed(a, drained_at)).collect();
+            let staleness: Vec<u64> = arrivals.iter().map(|&a| elapsed(a, published_at)).collect();
+            self.metrics
+                .record_batch(&queue_waits, elapsed(drained_at, published_at), &staleness);
             {
                 let mut stats = self.stats.lock().unwrap();
                 stats.resolves += 1;
                 stats.mutations_applied += batch.len() as u64;
             }
             gep_obs::counter_add("serve.resolves", 1);
-            gep_obs::gauge_set("serve.epoch", epoch as f64);
             gep_obs::gauge_set("serve.resolve_s", solve_s);
         }
     }
@@ -380,6 +414,56 @@ mod tests {
             }
         }
         cache.stop();
+    }
+
+    #[test]
+    fn each_mutate_call_yields_one_staleness_sample() {
+        let cache = ApspCache::new(random_graph(12, 7));
+        cache.mutate(&random_mutations(12, 4, 1)).unwrap();
+        cache.mutate(&random_mutations(12, 4, 2)).unwrap();
+        cache.quiesce();
+        cache.mutate(&random_mutations(12, 4, 3)).unwrap();
+        cache.quiesce();
+        let hists = cache.metrics().histograms();
+        // Three accepted requests -> three queue-wait and staleness
+        // samples, however the solver batched them; at least one batch
+        // drained, at most three.
+        assert_eq!(hists["serve.mutation.queue_wait_ns"].count(), 3);
+        assert_eq!(hists["serve.mutation.staleness_ns"].count(), 3);
+        let drains = hists["serve.mutation.batch_drain_ns"].count();
+        assert!((1..=3).contains(&drains), "batches: {drains}");
+        // Staleness (enqueue -> publish) dominates queue wait by
+        // construction: it includes the solve.
+        assert!(
+            hists["serve.mutation.staleness_ns"].max()
+                >= hists["serve.mutation.queue_wait_ns"].max()
+        );
+        cache.stop();
+    }
+
+    /// Satellite (gauge audit): connection-path `mutate()` and the solver
+    /// must not write point-in-time gauges — `serve.batch_depth` is the
+    /// stats ticker's alone, so its value can't be torn between a
+    /// connection thread's append and the solver's drain. The solver's
+    /// `serve.resolve_s` (single writer) is the only gauge this layer
+    /// publishes.
+    #[test]
+    fn cache_layer_publishes_no_batch_depth_gauge() {
+        gep_obs::install(gep_obs::Recorder::new());
+        let cache = ApspCache::new(random_graph(8, 2));
+        cache.mutate(&[(0, 1, 5)]).unwrap();
+        cache.quiesce();
+        cache.stop();
+        let rec = gep_obs::take().expect("recorder still installed");
+        assert!(
+            !rec.gauges.contains_key("serve.batch_depth"),
+            "batch_depth is published by the server ticker, not the cache"
+        );
+        assert!(
+            !rec.gauges.contains_key("serve.epoch"),
+            "epoch gauge is published by the server ticker, not the cache"
+        );
+        assert!(rec.gauges.contains_key("serve.resolve_s"));
     }
 
     const TROPICAL_INF_L: i64 = gep_core::algebra::TROPICAL_INF;

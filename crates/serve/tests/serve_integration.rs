@@ -12,6 +12,7 @@
 //!    mid-flight leaves a parseable JSONL flight log whose final flush
 //!    sample carries the closing `serve.*` stats.
 
+use std::sync::Mutex;
 use std::time::Duration;
 
 use gep_apps::reference::fw_reference;
@@ -25,6 +26,11 @@ use gep_serve::server::{Server, ServerConfig};
 fn start_server(n: usize, seed: u64) -> std::sync::Arc<Server> {
     Server::start(&ServerConfig::default(), random_graph(n, seed)).expect("server starts")
 }
+
+/// The recorder (and flight-event sink) is process-global; tests that
+/// install one serialize here so a concurrent test's server can't write
+/// counters or events into another's capture window.
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
 
 #[test]
 fn loadgen_over_tcp_answers_every_request_at_epoch_one() {
@@ -191,10 +197,10 @@ fn malformed_and_out_of_range_requests_get_clean_errors() {
 
 #[test]
 fn graceful_shutdown_flushes_final_flight_sample() {
-    // The recorder is process-global; serialize with other tests via a
-    // dedicated install here (tests in this binary run in separate
-    // processes only under `--test-threads=1`, so tolerate shared state
-    // by only asserting on `serve.*` keys we publish ourselves).
+    // Other tests in this binary may still share the process-global
+    // recorder (loadgen runs bump counters), so assert floors, not
+    // exact values, on `serve.*` keys we publish ourselves.
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     gep_obs::install(gep_obs::Recorder::new());
     let dir = std::env::temp_dir().join(format!("gep_serve_flight_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -220,6 +226,13 @@ fn graceful_shutdown_flushes_final_flight_sample() {
     // assert presence and a sane floor rather than exact values.
     let epoch = log.gauge(last_idx, "serve.epoch").expect("epoch gauge");
     assert!(epoch >= 1.0, "final sample carries serve.* gauges");
+    // The stats ticker — not the cache or connection threads — owns the
+    // point-in-time gauges, and its final publish runs before shutdown
+    // returns, so batch depth is present (and drained to zero).
+    let depth = log
+        .gauge(last_idx, "serve.batch_depth")
+        .expect("batch_depth gauge published by the stats ticker");
+    assert_eq!(depth, 0.0, "no pending mutations at shutdown");
     let counters = log.samples[last_idx]
         .get("counters")
         .expect("counters object");
@@ -231,6 +244,240 @@ fn graceful_shutdown_flushes_final_flight_sample() {
             >= 50,
         "final sample carries the query counters: {counters:?}"
     );
+    std::fs::remove_dir_all(&dir).ok();
+    let _ = gep_obs::take();
+}
+
+#[test]
+fn trace_ids_round_trip_and_reject_malformed() {
+    use gep_serve::protocol::{
+        read_frame, response_trace, with_trace, write_frame, MAX_TRACE_BYTES,
+    };
+    use std::io::{BufReader, BufWriter};
+
+    let server = start_server(8, 2);
+    let addr = server.local_addr();
+    let connect = || {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let r = BufReader::new(stream.try_clone().unwrap());
+        let w = BufWriter::new(stream);
+        (r, w)
+    };
+
+    // A client-supplied trace id is echoed verbatim.
+    let (mut r, mut w) = connect();
+    let req = with_trace(Request::Dist { u: 0, v: 1 }.to_json(), "client-trace.01");
+    write_frame(&mut w, &req).unwrap();
+    let resp = read_frame(&mut r).unwrap().unwrap();
+    assert!(response_ok(&resp));
+    assert_eq!(response_trace(&resp), Some("client-trace.01"));
+
+    // Without one, the server assigns an id unique per request...
+    write_frame(&mut w, &Request::Status.to_json()).unwrap();
+    let a = read_frame(&mut r).unwrap().unwrap();
+    write_frame(&mut w, &Request::Status.to_json()).unwrap();
+    let b = read_frame(&mut r).unwrap().unwrap();
+    let ta = response_trace(&a).expect("assigned trace").to_string();
+    let tb = response_trace(&b).expect("assigned trace").to_string();
+    assert!(ta.starts_with('s') && tb.starts_with('s'), "{ta} / {tb}");
+    assert_ne!(ta, tb, "server-assigned ids are unique per request");
+
+    // ...and with a connection-distinguishing prefix.
+    let (mut r2, mut w2) = connect();
+    write_frame(&mut w2, &Request::Status.to_json()).unwrap();
+    let c = read_frame(&mut r2).unwrap().unwrap();
+    let tc = response_trace(&c).expect("assigned trace").to_string();
+    let prefix = |t: &str| t.split('-').next().unwrap().to_string();
+    assert_ne!(
+        prefix(&ta),
+        prefix(&tc),
+        "distinct connections get distinct prefixes"
+    );
+
+    // A non-string trace fails the request with a trace-specific error —
+    // but never the connection.
+    let bad_int = match Request::Status.to_json() {
+        Json::Obj(mut fields) => {
+            fields.push(("trace".into(), Json::Int(7)));
+            Json::Obj(fields)
+        }
+        other => other,
+    };
+    write_frame(&mut w, &bad_int).unwrap();
+    let resp = read_frame(&mut r).unwrap().unwrap();
+    assert!(!response_ok(&resp));
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("trace"),
+        "error names the trace envelope: {resp:?}"
+    );
+
+    // Same for an oversized id.
+    let oversized = "x".repeat(MAX_TRACE_BYTES + 1);
+    write_frame(&mut w, &with_trace(Request::Status.to_json(), &oversized)).unwrap();
+    let resp = read_frame(&mut r).unwrap().unwrap();
+    assert!(!response_ok(&resp));
+
+    // The connection survived both rejections.
+    write_frame(&mut w, &Request::Status.to_json()).unwrap();
+    assert!(response_ok(&read_frame(&mut r).unwrap().unwrap()));
+    server.shutdown();
+}
+
+#[test]
+fn metrics_op_exposes_per_op_phase_histograms_and_status_quantiles() {
+    use gep_serve::PHASES;
+
+    let server = start_server(16, 3);
+    let addr = server.local_addr();
+    for i in 0..40u32 {
+        let resp = loadgen::request_once(
+            addr,
+            &Request::Dist {
+                u: i % 16,
+                v: (i + 1) % 16,
+            },
+        )
+        .unwrap();
+        assert!(response_ok(&resp));
+    }
+    for _ in 0..5 {
+        let resp = loadgen::request_once(addr, &Request::Path { u: 0, v: 9 }).unwrap();
+        assert!(response_ok(&resp));
+    }
+
+    // Phase samples are recorded *after* the response is written, so
+    // settle until the server's own count catches up with ours.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let exposition = loop {
+        let doc = loadgen::scrape_metrics(addr).expect("metrics scrape");
+        let dist_count = gep_obs::exposition_hist_stat(&doc, "serve.req_ns.dist", "count");
+        if dist_count == Some(40) {
+            break doc;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never recorded all 40 dist requests: {dist_count:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    gep_obs::validate_exposition(&exposition).expect("exposition validates");
+    for phase in PHASES {
+        assert_eq!(
+            gep_obs::exposition_hist_stat(
+                &exposition,
+                &format!("serve.phase_ns.dist.{phase}"),
+                "count"
+            ),
+            Some(40),
+            "every dist request contributed a {phase} sample"
+        );
+    }
+    assert_eq!(
+        gep_obs::exposition_hist_stat(&exposition, "serve.req_ns.path", "count"),
+        Some(5)
+    );
+    assert!(
+        exposition
+            .get("histograms")
+            .and_then(|h| h.get("serve.mutation.staleness_ns"))
+            .is_none(),
+        "no mutations yet -> no freshness series"
+    );
+
+    // The status op carries the same per-op quantile summaries.
+    let status = loadgen::request_once(addr, &Request::Status).unwrap();
+    assert!(response_ok(&status));
+    let dist_ops = status
+        .get("ops")
+        .and_then(|ops| ops.get("dist"))
+        .expect("status.ops.dist");
+    assert_eq!(dist_ops.get("count").and_then(Json::as_u64), Some(40));
+    assert!(dist_ops.get("p50_ns").and_then(Json::as_u64).unwrap() > 0);
+    assert!(
+        dist_ops.get("p99_ns").and_then(Json::as_u64).unwrap()
+            >= dist_ops.get("p50_ns").and_then(Json::as_u64).unwrap()
+    );
+
+    // One accepted mutation, once visible, yields one staleness sample.
+    let edges = random_mutations(16, 4, 99);
+    let resp = loadgen::request_once(addr, &Request::Mutate { edges }).unwrap();
+    assert!(response_ok(&resp));
+    server.cache().quiesce();
+    let doc = loadgen::scrape_metrics(addr).expect("metrics scrape after mutation");
+    assert_eq!(
+        gep_obs::exposition_hist_stat(&doc, "serve.mutation.staleness_ns", "count"),
+        Some(1),
+        "one mutate call -> one staleness sample"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn slow_request_flight_events_attribute_phases_that_sum_to_total() {
+    use gep_serve::protocol::{read_frame, with_trace, write_frame};
+    use std::io::{BufReader, BufWriter};
+
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    gep_obs::install(gep_obs::Recorder::new());
+    let dir = std::env::temp_dir().join(format!("gep_serve_slow_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let flight = dir.join("flight.jsonl");
+    let sampler = gep_obs::Sampler::start(gep_obs::SamplerConfig::new(&flight)).unwrap();
+
+    // Threshold zero: every request is "slow", so one probe suffices.
+    let config = ServerConfig {
+        slow_threshold: Duration::ZERO,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(&config, random_graph(16, 5)).expect("server starts");
+    let addr = server.local_addr();
+    {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        let req = with_trace(Request::Dist { u: 3, v: 7 }.to_json(), "slow-probe");
+        write_frame(&mut w, &req).unwrap();
+        assert!(response_ok(&read_frame(&mut r).unwrap().unwrap()));
+    }
+    server.shutdown();
+    sampler.stop();
+
+    let log = gep_obs::read_flight_file(&flight).expect("flight file parses");
+    let event = log
+        .events
+        .iter()
+        .find(|e| {
+            e.get("event").and_then(Json::as_str) == Some("slow_request")
+                && e.get("trace").and_then(Json::as_str) == Some("slow-probe")
+        })
+        .expect("slow_request event for the probe");
+    assert_eq!(event.get("op").and_then(Json::as_str), Some("dist"));
+    assert_eq!(event.get("epoch").and_then(Json::as_u64), Some(1));
+    let total = event
+        .get("total_ns")
+        .and_then(Json::as_u64)
+        .expect("total_ns");
+    let phases = event.get("phases").expect("phases object");
+    let phase_sum: u64 = gep_serve::PHASES
+        .iter()
+        .map(|p| {
+            phases
+                .get(&format!("{p}_ns"))
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("missing phase {p}: {phases:?}"))
+        })
+        .sum();
+    // The phases are pairwise checkpoint differences, so they telescope:
+    // the attribution is exact, not approximate.
+    assert_eq!(
+        phase_sum, total,
+        "phase durations sum to the measured total"
+    );
+    assert!(total > 0, "a real request takes nonzero time");
+
     std::fs::remove_dir_all(&dir).ok();
     let _ = gep_obs::take();
 }
